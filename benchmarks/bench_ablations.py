@@ -1,0 +1,170 @@
+"""Ablations of the design choices called out in DESIGN.md §5.
+
+Each ablation switches one mechanism off and shows the paper's design
+point winning:
+
+* warm container pool (Sec. IV-B): pooled vs. swap-only vs. cold-always;
+* co-location admission policy (Sec. III-E): naive vs. heuristic;
+* executor polling mode (Sec. IV-A): hot vs. warm latency;
+* lease reclamation (Sec. IV-E): graceful vs. immediate.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.cluster import Cluster, DAINT_MC, Node
+from repro.colocation import CoLocationPolicy, PolicyConfig
+from repro.containers import Image, SARUS, WarmPool
+from repro.interference import InterferenceModel, ResourceDemand
+from repro.rfaas import NodeLoadRegistry
+from repro.sim import Environment
+from repro.workloads import milc_model, nas_model
+
+MiB = 1024**2
+GBs = 1e9
+
+
+def test_ablation_warm_pool(benchmark, report):
+    """Total startup cost of 50 invocations under three pool policies."""
+
+    def scenario(mode: str) -> float:
+        env = Environment()
+        node = Node("n0", DAINT_MC)
+        pool = WarmPool(env, node, SARUS)
+        image = Image("fn", size_bytes=300 * MiB)
+        total = 0.0
+        for i in range(50):
+            res = pool.acquire(image)
+            total += res.startup_cost_s
+            if mode == "cold-always":
+                pool.discard(res.container)
+            else:
+                pool.release(res.container)
+                if i % 10 == 9:
+                    # Batch reclaims the idle memory periodically.
+                    pool.reclaim(10**12, swap=(mode == "pooled+swap"))
+        return total
+
+    costs = benchmark.pedantic(
+        lambda: {m: scenario(m) for m in ("pooled+swap", "pooled", "cold-always")},
+        rounds=1, iterations=1,
+    )
+    report(render_table(
+        ["pool policy", "total startup cost (s)"],
+        [[m, c] for m, c in costs.items()],
+        title="Ablation — warm container pool (50 invocations, reclaim every 10)",
+    ))
+    assert costs["pooled+swap"] < costs["pooled"] < costs["cold-always"]
+
+
+def test_ablation_admission_policy(benchmark, report):
+    """Batch slowdown under naive vs. heuristic admission."""
+
+    def scenario(use_policy: bool) -> tuple[float, int]:
+        cluster = Cluster()
+        cluster.add_nodes("n", 1, DAINT_MC)
+        node = cluster.node("n0000")
+        loads = NodeLoadRegistry(cluster)
+        model = InterferenceModel()
+        batch = milc_model(16).demand(16)
+        loads.add("n0000", "batch", batch)
+        node.allocate("job", cores=16)
+        policy = CoLocationPolicy(loads, config=PolicyConfig(max_batch_slowdown=1.05))
+        candidates = [nas_model(k).demand(4) for k in ("cg.A", "mg.W", "ep.W", "bt.W")]
+        admitted = 0
+        for i, demand in enumerate(candidates):
+            if node.free_cores < demand.cores:
+                break
+            if use_policy:
+                decision = policy.decide(node, demand, "milc")
+                if not decision.admitted:
+                    continue
+            loads.add("n0000", f"fn{i}", demand)
+            node.allocate(f"fn{i}", cores=demand.cores, kind="function")
+            admitted += 1
+        batch_alone = model.slowdowns(DAINT_MC, [batch])[0]
+        slowdown = loads.slowdowns("n0000")["batch"] / batch_alone
+        return slowdown, admitted
+
+    outcome = benchmark.pedantic(
+        lambda: {"naive": scenario(False), "policy": scenario(True)},
+        rounds=1, iterations=1,
+    )
+    report(render_table(
+        ["admission", "MILC slowdown", "functions admitted"],
+        [[k, f"{(v[0] - 1) * 100:.2f}%", v[1]] for k, v in outcome.items()],
+        title="Ablation — co-location admission policy (MILC batch job)",
+    ))
+    naive_slow, policy_slow = outcome["naive"][0], outcome["policy"][0]
+    assert policy_slow < naive_slow
+    assert policy_slow < 1.06  # the threshold held
+    assert outcome["policy"][1] >= 1  # still admits compatible functions
+
+
+def test_ablation_executor_mode(benchmark, report):
+    """Hot vs warm executor median RTT (small-message)."""
+    from repro.experiments import fig07_latency
+
+    result = benchmark.pedantic(
+        lambda: fig07_latency.run(sizes=(64,), samples=150, seed=3),
+        rounds=1, iterations=1,
+    )
+    hot, warm, fabric = result.hot[0], result.warm[0], result.fabric[0]
+    report(render_table(
+        ["path", "p50 (us)", "p95 (us)"],
+        [["fabric", fabric.median_s * 1e6, fabric.p95_s * 1e6],
+         ["hot", hot.median_s * 1e6, hot.p95_s * 1e6],
+         ["warm", warm.median_s * 1e6, warm.p95_s * 1e6]],
+        title="Ablation — executor polling mode (64 B payload)",
+    ))
+    assert hot.median_s < warm.median_s
+    assert hot.median_s - fabric.median_s < 2e-6
+
+
+def test_ablation_reclaim_style(benchmark, report):
+    """Graceful vs immediate reclamation: invocation fates."""
+    import sys
+    sys.path.insert(0, "tests")
+    from rfaas.conftest import Harness
+
+    def scenario(immediate: bool) -> dict:
+        h = Harness(nodes=3)
+        h.register_node("n0001")
+        h.register_node("n0002")
+        h.register_function("slow", runtime_s=1.0)
+        client = h.client()
+        outcomes = []
+
+        def invoker():
+            for _ in range(3):
+                result = yield client.invoke("slow")
+                outcomes.append(result.node_name)
+
+        def reclaimer():
+            yield h.env.timeout(0.5)
+            h.manager.remove_node("n0001", immediate=immediate)
+
+        h.env.process(invoker())
+        h.env.process(reclaimer())
+        h.env.run()
+        exec1 = None  # executor gone; rely on client stats
+        return {
+            "redirects": client.redirects,
+            "finished": len(outcomes),
+            "end_time": h.env.now,
+        }
+
+    outcome = benchmark.pedantic(
+        lambda: {"graceful": scenario(False), "immediate": scenario(True)},
+        rounds=1, iterations=1,
+    )
+    report(render_table(
+        ["reclaim", "redirects", "invocations finished", "end time (s)"],
+        [[k, v["redirects"], v["finished"], v["end_time"]] for k, v in outcome.items()],
+        title="Ablation — lease reclamation style (3 sequential 1 s invocations)",
+    ))
+    # Immediate reclaim aborts the in-flight invocation -> a redirect and
+    # lost progress; graceful lets it finish on the original node.
+    assert outcome["immediate"]["redirects"] >= 1
+    assert outcome["graceful"]["redirects"] == 0
+    assert outcome["graceful"]["finished"] == outcome["immediate"]["finished"] == 3

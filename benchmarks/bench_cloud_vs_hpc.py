@@ -1,0 +1,72 @@
+"""Baseline comparison: classical cloud FaaS vs HPC FaaS (Table I / Sec. IV-A).
+
+Identical no-op invocations on the cloud baseline (gateway + central
+scheduling + storage detours over TCP) and the HPC platform (leases +
+RDMA + hot executors).  The gap — three orders of magnitude at small
+payloads — is the paper's motivation for specializing serverless to HPC.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.cloudfaas import CloudFaaSPlatform
+from repro.containers import Image
+from repro.experiments import fig07_latency
+from repro.sim import Environment
+
+MiB = 1024**2
+SIZES = (1024, 256 * 1024, 1 * MiB)
+
+
+def _cloud_latencies(sizes, samples=100):
+    env = Environment()
+    platform = CloudFaaSPlatform(env, rng=np.random.default_rng(0))
+    platform.register("noop", Image("noop", size_bytes=200 * MiB))
+    medians = {}
+
+    def bench():
+        # Warm the sandbox first.
+        yield platform.invoke("noop")
+        for size in sizes:
+            observed = []
+            for _ in range(samples):
+                record = yield platform.invoke("noop", payload_bytes=size)
+                observed.append(record.total_s)
+            medians[size] = float(np.median(observed))
+
+    env.process(bench())
+    env.run()
+    return medians
+
+
+def test_cloud_vs_hpc_invocation_latency(benchmark, report):
+    def run():
+        cloud = _cloud_latencies(SIZES)
+        hpc = fig07_latency.run(sizes=SIZES, samples=100, seed=1)
+        return cloud, hpc
+
+    cloud, hpc = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for point_hot, point_warm in zip(hpc.hot, hpc.warm):
+        size = point_hot.size_bytes
+        rows.append([
+            size,
+            cloud[size] * 1e3,
+            point_warm.median_s * 1e3,
+            point_hot.median_s * 1e3,
+            f"{cloud[size] / point_hot.median_s:,.0f}x",
+        ])
+    report(render_table(
+        ["payload (B)", "cloud FaaS p50 (ms)", "HPC warm p50 (ms)",
+         "HPC hot p50 (ms)", "cloud/hot gap"],
+        rows,
+        title="Baseline — classical cloud functions vs HPC functions (warm invocations)",
+    ))
+    # Paper claims: warm cloud invocations cost dozens of ms; HPC functions
+    # need (and get) microseconds.
+    small = SIZES[0]
+    assert cloud[small] > 0.01
+    assert hpc.hot[0].median_s < 10e-6
+    assert cloud[small] / hpc.hot[0].median_s > 1000
+    # Large payloads: the cloud's storage detour widens the gap further.
+    assert cloud[SIZES[-1]] > cloud[small] * 2

@@ -1,0 +1,15 @@
+"""Fig. 1 — Piz Daint utilization: idle nodes, memory, idle-period durations."""
+
+from repro.experiments import fig01_utilization
+
+
+def test_fig01_utilization(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig01_utilization.run(nodes=64, hours=12.0, seed=0),
+        rounds=1, iterations=1,
+    )
+    report(fig01_utilization.format_report(result))
+    # Paper-shape guards.
+    assert result.summary["median_allocated_fraction"] > 0.7
+    assert result.sampled_idle.fraction_under_10min > 0.6
+    assert result.memory_used_fraction_mean < 0.45

@@ -1,0 +1,16 @@
+"""Fig. 7 — rFaaS vs libfabric invocation latency (median and p95)."""
+
+from repro.experiments import fig07_latency
+
+
+def test_fig07_latency(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig07_latency.run(samples=200, seed=0),
+        rounds=1, iterations=1,
+    )
+    report(fig07_latency.format_report(result))
+    small_hot = result.hot[0]
+    small_fabric = result.fabric[0]
+    assert small_hot.median_s < 10e-6                      # single-digit us
+    assert small_hot.median_s < small_fabric.median_s + 2e-6
+    assert result.warm[0].median_s > small_hot.median_s + 5e-6

@@ -1,0 +1,14 @@
+"""Fig. 8 — Lustre parallel filesystem vs MinIO object storage."""
+
+from repro.experiments import fig08_storage
+
+MiB = 1024**2
+
+
+def test_fig08_storage(benchmark, report):
+    result = benchmark.pedantic(fig08_storage.run, rounds=1, iterations=1)
+    report(fig08_storage.format_report(result))
+    small = [p for p in result.points if p.size_bytes <= 1 * MiB and p.readers == 1]
+    assert all(p.minio_wins_latency for p in small)
+    big = [p for p in result.points if p.size_bytes >= 256 * MiB and p.readers >= 16]
+    assert all(p.lustre_throughput > p.minio_throughput for p in big)

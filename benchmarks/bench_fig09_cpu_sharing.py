@@ -1,0 +1,15 @@
+"""Fig. 9 — CPU sharing: LULESH batch job + NAS FaaS-like workloads."""
+
+from repro.experiments import fig09_cpu_sharing
+
+
+def test_fig09_cpu_sharing(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig09_cpu_sharing.run(), rounds=1, iterations=1
+    )
+    report(fig09_cpu_sharing.format_report(result))
+    lulesh = [c for c in result.cells if c.batch_app == "lulesh"]
+    # Paper: batch impact negligible; worst partner is CG.
+    assert all(c.batch_slowdown < 1.10 for c in lulesh)
+    assert all(c.batch_slowdown < 1.03 for c in lulesh if c.nas != "cg.A")
+    assert all(c.faas_slowdown >= c.batch_slowdown - 1e-9 for c in lulesh)

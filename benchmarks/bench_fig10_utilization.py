@@ -1,0 +1,11 @@
+"""Fig. 10 — system utilization: co-located vs partial vs exclusive."""
+
+from repro.experiments import fig10_utilization
+
+
+def test_fig10_utilization(benchmark, report):
+    result = benchmark.pedantic(fig10_utilization.run, rounds=1, iterations=1)
+    report(fig10_utilization.format_report(result))
+    for row in result.rows:
+        assert row.colocated > row.partial > row.exclusive
+    assert 0.25 < result.max_improvement < 0.8  # paper: up to ~52%

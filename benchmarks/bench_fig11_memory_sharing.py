@@ -1,0 +1,13 @@
+"""Fig. 11 — remote-memory functions perturbing co-located batch jobs."""
+
+from repro.experiments import fig11_memory_sharing
+
+
+def test_fig11_memory_sharing(benchmark, report):
+    result = benchmark.pedantic(fig11_memory_sharing.run, rounds=1, iterations=1)
+    report(fig11_memory_sharing.format_report(result))
+    lulesh = [p for p in result.points if p.app == "lulesh"]
+    milc = [p for p in result.points if p.app == "milc"]
+    assert all(p.slowdown < 1.02 for p in lulesh)       # LULESH unaffected
+    assert max(p.slowdown for p in milc) > max(p.slowdown for p in lulesh)
+    assert max(p.traffic_bw for p in result.points) > 9e9  # ~10 GB/s injected

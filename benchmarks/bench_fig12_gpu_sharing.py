@@ -1,0 +1,13 @@
+"""Fig. 12 — GPU co-location: batch GPU jobs + Rodinia GPU functions."""
+
+from repro.experiments import fig12_gpu_sharing
+
+
+def test_fig12_gpu_sharing(benchmark, report):
+    result = benchmark.pedantic(fig12_gpu_sharing.run, rounds=1, iterations=1)
+    report(fig12_gpu_sharing.format_report(result))
+    slowdowns = [c.batch_slowdown for c in result.cells]
+    over = [s for s in slowdowns if s > 1.05]
+    assert over and len(over) <= len(slowdowns) // 4    # few outliers
+    assert max(slowdowns) < 1.15                        # paper worst: 10.5%
+    assert result.cost_discount == 0.25

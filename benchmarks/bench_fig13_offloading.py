@@ -1,0 +1,36 @@
+"""Fig. 13 — real offloading: Black-Scholes and Monte Carlo transport.
+
+This benchmark executes *real* numpy kernels through the process-based
+runtime.  On hosts with fewer free cores than workers the measured
+speedup is physically capped; the Eq.-1 predicted speedup is asserted
+instead (see the experiment module's docstring).
+"""
+
+from repro.experiments import fig13_offloading
+
+
+def test_fig13_offloading(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: fig13_offloading.run(
+            workers=2, options=300_000, iterations=3, particles=(2_000, 8_000)
+        ),
+        rounds=1, iterations=1,
+    )
+    report(fig13_offloading.format_report(results))
+    # The analytic saturation sweep for the measured Black-Scholes model.
+    model = results[0].model
+    sweep = fig13_offloading.saturation_sweep(model)
+    report(fig13_offloading.format_saturation(model, sweep))
+    # Speedup is non-decreasing in workers and eventually plateaus.
+    speedups = [s for _, s, _ in sweep]
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] - speedups[-2] < 0.5  # the knee flattened
+    assert all(r.checks_passed for r in results)
+    for result in results:
+        assert result.model.n_local_min >= 1
+        assert result.predicted_doubled_speedup >= 1.0
+        serial = result.timing("serial").wall_s
+        assert serial > 0
+        if result.host_cores > result.workers:
+            # Enough cores: the doubled variant must actually win.
+            assert result.timing("doubled").wall_s < serial

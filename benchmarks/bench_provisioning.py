@@ -1,0 +1,93 @@
+"""Provisioning and drain latency (Sec. III-A's three requirements).
+
+"It has to integrate a new node quickly, release it immediately when the
+batch system needs it, and gracefully handle the node termination."
+Measures, in simulated time:
+
+* time from ``register_node`` to the first completed invocation (cold
+  and prewarmed);
+* drain latency when the batch system reclaims the node, for graceful
+  (bounded by the time-limited functions still running) vs immediate.
+"""
+
+import sys
+
+sys.path.insert(0, "tests")
+
+import numpy as np
+
+from rfaas.conftest import Harness
+
+from repro.analysis import render_table
+
+
+def time_to_first_invocation(prewarm: bool) -> float:
+    h = Harness()
+    h.register_function("fn", runtime_s=0.0)
+    out = {}
+
+    def proc():
+        t0 = h.env.now
+        registered = h.register_node("n0001")
+        if prewarm:
+            registered.executor.prewarm(h.image)
+        client = h.client()
+        result = yield client.invoke("fn", payload_bytes=1024)
+        assert result.ok
+        out["t"] = h.env.now - t0
+
+    h.env.process(proc())
+    h.env.run()
+    return out["t"]
+
+
+def drain_latency(immediate: bool, function_runtime: float = 2.0) -> float:
+    h = Harness()
+    h.register_node("n0001")
+    h.register_node("n0002")
+    h.register_function("fn", runtime_s=function_runtime)
+    client = h.client()
+    out = {}
+
+    def invoker():
+        yield client.invoke("fn")
+
+    def reclaimer():
+        # Reclaim mid-invocation; measure until in-flight work is gone.
+        yield h.env.timeout(function_runtime / 2)
+        executor = h.manager.node_info("n0001").executor
+        t0 = h.env.now
+        h.manager.remove_node("n0001", immediate=immediate)
+        while executor.active_invocations:
+            yield h.env.timeout(0.001)
+        out["drain"] = h.env.now - t0
+
+    h.env.process(invoker())
+    h.env.process(reclaimer())
+    h.env.run()
+    return out["drain"]
+
+
+def test_provisioning_and_drain(benchmark, report):
+    def run():
+        return {
+            "first_inv_cold": time_to_first_invocation(prewarm=False),
+            "first_inv_warm": time_to_first_invocation(prewarm=True),
+            "drain_immediate": drain_latency(immediate=True),
+            "drain_graceful": drain_latency(immediate=False),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(render_table(
+        ["metric", "simulated time (s)"],
+        [[k, v] for k, v in out.items()],
+        title="Provisioning & drain latency (Sec. III-A requirements)",
+    ))
+    # A node is serving invocations well under a second after registering
+    # (vs minutes of batch-queue integration).
+    assert out["first_inv_cold"] < 1.0
+    assert out["first_inv_warm"] < 0.05
+    # Immediate reclaim is effectively instantaneous; graceful is bounded
+    # by the time-limited function still in flight.
+    assert out["drain_immediate"] < 0.01
+    assert out["drain_immediate"] < out["drain_graceful"] <= 2.0 + 0.1

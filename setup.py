@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The reproduction environment is offline and lacks the ``wheel`` package,
+so PEP-660 editable installs are unavailable; this shim enables the legacy
+``pip install -e . --no-build-isolation --no-use-pep517`` path.  All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Analysis: utilization statistics, table rendering."""
+
+from .tables import format_value, render_table
+from .utilization import (
+    IdleStats,
+    idle_duration_stats,
+    sampled_idle_durations,
+    utilization_summary,
+)
+
+__all__ = [
+    "format_value",
+    "render_table",
+    "IdleStats",
+    "idle_duration_stats",
+    "sampled_idle_durations",
+    "utilization_summary",
+]

@@ -1,0 +1,104 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig07 --set samples=100
+    python -m repro run all
+
+``--set key=value`` pairs are parsed as Python literals and forwarded to
+the experiment's ``run()``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+import time
+from typing import Any, Callable
+
+from .experiments import (
+    fig01_utilization,
+    fig07_latency,
+    fig08_storage,
+    fig09_cpu_sharing,
+    fig10_utilization,
+    fig11_memory_sharing,
+    fig12_gpu_sharing,
+    fig13_offloading,
+    tab03_idle_node,
+)
+
+__all__ = ["EXPERIMENTS", "main"]
+
+#: name -> (module, one-line description)
+EXPERIMENTS: dict[str, tuple[Any, str]] = {
+    "fig01": (fig01_utilization, "Piz Daint utilization: idle nodes, memory, idle periods"),
+    "fig07": (fig07_latency, "rFaaS vs libfabric invocation latency"),
+    "fig08": (fig08_storage, "Lustre vs MinIO function I/O"),
+    "tab03": (tab03_idle_node, "idle-node throughput with NAS functions"),
+    "fig09": (fig09_cpu_sharing, "CPU sharing: batch + FaaS-like workloads"),
+    "fig10": (fig10_utilization, "system utilization across placement scenarios"),
+    "fig11": (fig11_memory_sharing, "remote-memory traffic perturbation"),
+    "fig12": (fig12_gpu_sharing, "GPU co-location overheads"),
+    "fig13": (fig13_offloading, "real offloading: Black-Scholes + MC transport"),
+}
+
+
+def _parse_overrides(pairs: list[str]) -> dict[str, Any]:
+    overrides: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        try:
+            overrides[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            overrides[key] = raw  # plain string
+    return overrides
+
+
+def _run_one(name: str, overrides: dict[str, Any], out: Callable[[str], None]) -> None:
+    module, _ = EXPERIMENTS[name]
+    t0 = time.perf_counter()
+    result = module.run(**overrides)
+    elapsed = time.perf_counter() - t0
+    out(module.format_report(result))
+    out(f"[{name} completed in {elapsed:.2f}s]\n")
+
+
+def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run_parser.add_argument(
+        "--set", action="append", default=[], metavar="key=value",
+        help="override a run() keyword argument (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (_, description) in EXPERIMENTS.items():
+            out(f"{name.ljust(width)}  {description}")
+        return 0
+
+    overrides = _parse_overrides(args.set)
+    if args.experiment == "all":
+        if overrides:
+            raise SystemExit("--set is only valid with a single experiment")
+        for name in EXPERIMENTS:
+            _run_one(name, {}, out)
+    else:
+        _run_one(args.experiment, overrides, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Classical cloud FaaS baseline: gateway, central scheduling, storage detours."""
+
+from .platform import CloudConfig, CloudFaaSPlatform, CloudInvocation
+
+__all__ = ["CloudConfig", "CloudFaaSPlatform", "CloudInvocation"]

@@ -1,0 +1,22 @@
+"""Cluster hardware model: nodes, specs, machine, interconnect topology."""
+
+from .machine import Cluster, build_daint
+from .node import Allocation, AllocationError, Node
+from .specs import AULT, AULT_EPYC, DAINT_GPU, DAINT_MC, GpuSpec, NodeSpec, PRESETS
+from .topology import DragonflyTopology
+
+__all__ = [
+    "Cluster",
+    "build_daint",
+    "Allocation",
+    "AllocationError",
+    "Node",
+    "AULT",
+    "AULT_EPYC",
+    "DAINT_GPU",
+    "DAINT_MC",
+    "GpuSpec",
+    "NodeSpec",
+    "PRESETS",
+    "DragonflyTopology",
+]

@@ -1,0 +1,51 @@
+"""Interconnect topology model.
+
+Piz Daint's Aries network is a dragonfly: nodes attach to routers, routers
+form all-to-all *groups*, groups connect via optical links.  For the
+latency effects the paper's experiments exercise (same-node vs. same-group
+vs. remote invocations) a three-level hop model is sufficient:
+
+* same node            -> 0 hops (shared memory)
+* same group           -> ``intra_group_hops``
+* different groups     -> ``inter_group_hops``
+
+Per-hop latency is added to the LogGP base latency by the transport layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DragonflyTopology"]
+
+
+@dataclass(frozen=True)
+class DragonflyTopology:
+    """Maps node indices to dragonfly groups and hop counts."""
+
+    nodes_per_group: int = 384      # Aries: 96 routers x 4 nodes per group
+    intra_group_hops: int = 2       # router -> router within group
+    inter_group_hops: int = 5       # up to 2 local + 1 optical + 2 local
+    hop_latency_s: float = 100e-9   # ~100 ns per Aries router traversal
+
+    def __post_init__(self):
+        if self.nodes_per_group < 1:
+            raise ValueError("nodes_per_group must be >= 1")
+        if not 0 <= self.intra_group_hops <= self.inter_group_hops:
+            raise ValueError("hop counts must satisfy 0 <= intra <= inter")
+
+    def group_of(self, node_index: int) -> int:
+        if node_index < 0:
+            raise ValueError("negative node index")
+        return node_index // self.nodes_per_group
+
+    def hops(self, src_index: int, dst_index: int) -> int:
+        if src_index == dst_index:
+            return 0
+        if self.group_of(src_index) == self.group_of(dst_index):
+            return self.intra_group_hops
+        return self.inter_group_hops
+
+    def latency(self, src_index: int, dst_index: int) -> float:
+        """Topology-induced extra one-way latency in seconds."""
+        return self.hops(src_index, dst_index) * self.hop_latency_s

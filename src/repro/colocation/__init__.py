@@ -1,0 +1,16 @@
+"""Co-location policies: history, requirement models, admission."""
+
+from .history import CoLocationRecord, HistoryDB
+from .policy import CoLocationPolicy, Decision, PolicyConfig
+from .requirements import PerformanceModel, RequirementModel, fit_performance_model
+
+__all__ = [
+    "CoLocationRecord",
+    "HistoryDB",
+    "CoLocationPolicy",
+    "Decision",
+    "PolicyConfig",
+    "PerformanceModel",
+    "RequirementModel",
+    "fit_performance_model",
+]

@@ -1,0 +1,203 @@
+"""Warm container pool hosted in idle node memory (Sec. III-C, IV-B).
+
+The paper's answer to cold starts: instead of making them faster, make
+them *rarer* by parking started containers in memory nobody is using.
+The pool is compatible with batch reclamation — when the batch system
+needs the memory, warm containers are evicted instantly, optionally
+swapped to the parallel filesystem so a later invocation pays a swap-in
+rather than a full cold start.
+
+Costs returned by :meth:`WarmPool.acquire` are in seconds; the caller
+(the rFaaS executor) advances simulated time by them, so the pool itself
+stays a plain passive data structure.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.node import Allocation, AllocationError, Node
+from ..sim.engine import Environment
+from .image import Image
+from .runtime import ContainerRuntime
+
+__all__ = ["ContainerState", "WarmContainer", "WarmPool", "AcquireResult"]
+
+_container_ids = itertools.count(1)
+
+
+class ContainerState(enum.Enum):
+    WARM = "warm"          # resident in node memory, ready for dispatch
+    IN_USE = "in_use"      # currently executing an invocation
+    SWAPPED = "swapped"    # evicted to the parallel filesystem
+
+
+class WarmContainer:
+    """A started container instance."""
+
+    def __init__(self, image: Image, node_name: str, alloc: Optional[Allocation]):
+        self.container_id = next(_container_ids)
+        self.image = image
+        self.node_name = node_name
+        self.alloc = alloc           # memory held while resident
+        self.state = ContainerState.IN_USE
+        self.last_used = 0.0
+
+
+@dataclass(frozen=True)
+class AcquireResult:
+    container: WarmContainer
+    startup_cost_s: float
+    kind: str                       # "warm" | "swapped" | "cold"
+
+
+class WarmPool:
+    """Per-node cache of warm containers living in idle memory."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        runtime: ContainerRuntime,
+        swap_bandwidth: float = 5e9,
+        owner: str = "rfaas-warmpool",
+    ):
+        if swap_bandwidth <= 0:
+            raise ValueError("swap_bandwidth must be positive")
+        self.env = env
+        self.node = node
+        self.runtime = runtime
+        self.swap_bandwidth = swap_bandwidth
+        self.owner = owner
+        self._warm: dict[int, WarmContainer] = {}
+        self._swapped: dict[int, WarmContainer] = {}
+        # Statistics for the ablation benches.
+        self.hits = 0
+        self.swap_ins = 0
+        self.cold_starts = 0
+        self.evictions = 0
+
+    # -- views -------------------------------------------------------------
+    @property
+    def warm_count(self) -> int:
+        return len(self._warm)
+
+    @property
+    def swapped_count(self) -> int:
+        return len(self._swapped)
+
+    def resident_bytes(self) -> int:
+        return sum(c.image.runtime_memory_bytes for c in self._warm.values())
+
+    # -- acquisition -----------------------------------------------------------
+    def acquire(self, image: Image) -> AcquireResult:
+        """Get a container for ``image``: warm hit, swap-in, or cold start."""
+        # 1. Warm hit: LRU-newest first (it is most likely still cached).
+        candidates = [c for c in self._warm.values() if c.image.name == image.name]
+        if candidates:
+            container = max(candidates, key=lambda c: c.last_used)
+            del self._warm[container.container_id]
+            container.state = ContainerState.IN_USE
+            self.hits += 1
+            return AcquireResult(container, self.runtime.warm_attach_s, "warm")
+
+        # 2. Swapped instance: pay swap-in (read image state back) + attach.
+        swapped = [c for c in self._swapped.values() if c.image.name == image.name]
+        if swapped:
+            container = max(swapped, key=lambda c: c.last_used)
+            alloc = self._allocate_memory(image)
+            del self._swapped[container.container_id]
+            container.alloc = alloc
+            container.state = ContainerState.IN_USE
+            self.swap_ins += 1
+            cost = image.runtime_memory_bytes / self.swap_bandwidth + self.runtime.warm_attach_s
+            return AcquireResult(container, cost, "swapped")
+
+        # 3. Cold start.
+        alloc = self._allocate_memory(image)
+        container = WarmContainer(image, self.node.name, alloc)
+        self.cold_starts += 1
+        return AcquireResult(container, self.runtime.cold_start_time(image), "cold")
+
+    def _allocate_memory(self, image: Image) -> Allocation:
+        """Claim container memory, evicting LRU warm containers if needed."""
+        need = image.runtime_memory_bytes
+        while not self.node.can_allocate(memory_bytes=need) and self._warm:
+            self._evict_lru(swap=True)
+        try:
+            return self.node.allocate(
+                owner=self.owner, memory_bytes=need, kind="container"
+            )
+        except AllocationError as exc:
+            raise AllocationError(
+                f"node {self.node.name}: no memory for container of {image.name!r}"
+            ) from exc
+
+    def release(self, container: WarmContainer) -> None:
+        """Return a container to the warm set after an invocation."""
+        if container.state != ContainerState.IN_USE:
+            raise ValueError(f"container {container.container_id} not in use")
+        container.state = ContainerState.WARM
+        container.last_used = self.env.now
+        self._warm[container.container_id] = container
+
+    def discard(self, container: WarmContainer) -> None:
+        """Destroy an in-use container without keeping it warm."""
+        if container.alloc is not None:
+            self.node.release(container.alloc)
+            container.alloc = None
+
+    # -- reclamation ---------------------------------------------------------------
+    def _evict_lru(self, swap: bool) -> int:
+        container = min(self._warm.values(), key=lambda c: c.last_used)
+        del self._warm[container.container_id]
+        freed = container.image.runtime_memory_bytes
+        self.node.release(container.alloc)
+        container.alloc = None
+        self.evictions += 1
+        if swap:
+            container.state = ContainerState.SWAPPED
+            self._swapped[container.container_id] = container
+        return freed
+
+    def reclaim(self, bytes_needed: int, swap: bool = True) -> int:
+        """Free at least ``bytes_needed`` of warm memory; returns freed bytes.
+
+        Idle containers 'can be removed immediately without consequences'
+        (Sec. IV-B); with ``swap`` they survive on the PFS.
+        """
+        freed = 0
+        while freed < bytes_needed and self._warm:
+            freed += self._evict_lru(swap=swap)
+        return freed
+
+    def drain(self) -> None:
+        """Evict everything (node leaves the resource pool, Sec. IV-E)."""
+        self.reclaim(self.resident_bytes(), swap=True)
+
+    # -- migration (Sec. III-C) -------------------------------------------------
+    def export_warm(self) -> list[WarmContainer]:
+        """Detach all warm containers for migration to another node.
+
+        Their memory is freed here; the destination pool re-allocates it
+        via :meth:`import_container`.  In-use containers stay.
+        """
+        exported = list(self._warm.values())
+        for container in exported:
+            del self._warm[container.container_id]
+            self.node.release(container.alloc)
+            container.alloc = None
+        return exported
+
+    def import_container(self, container: WarmContainer) -> None:
+        """Adopt a migrated container as warm on this node."""
+        if container.alloc is not None:
+            raise ValueError("container still holds memory on the source node")
+        container.alloc = self._allocate_memory(container.image)
+        container.node_name = self.node.name
+        container.state = ContainerState.WARM
+        container.last_used = self.env.now
+        self._warm[container.container_id] = container

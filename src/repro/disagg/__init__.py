@@ -1,0 +1,15 @@
+"""Software disaggregation: controller, billing, utilization metrics."""
+
+from .billing import FunctionBill, JobBill, core_hour_discount
+from .controller import ControllerConfig, DisaggregationController
+from .metrics import ScenarioUtilization, colocation_scenarios
+
+__all__ = [
+    "FunctionBill",
+    "JobBill",
+    "core_hour_discount",
+    "ControllerConfig",
+    "DisaggregationController",
+    "ScenarioUtilization",
+    "colocation_scenarios",
+]

@@ -1,0 +1,30 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes ``run(...) -> result`` and ``format_report(result)``;
+the benchmark suite (``benchmarks/``) executes them and prints the same
+rows/series the paper reports.  See DESIGN.md for the experiment index.
+"""
+
+from . import (
+    fig01_utilization,
+    fig07_latency,
+    fig08_storage,
+    fig09_cpu_sharing,
+    fig10_utilization,
+    fig11_memory_sharing,
+    fig12_gpu_sharing,
+    fig13_offloading,
+    tab03_idle_node,
+)
+
+__all__ = [
+    "fig01_utilization",
+    "fig07_latency",
+    "fig08_storage",
+    "fig09_cpu_sharing",
+    "fig10_utilization",
+    "fig11_memory_sharing",
+    "fig12_gpu_sharing",
+    "fig13_offloading",
+    "tab03_idle_node",
+]

@@ -1,0 +1,86 @@
+"""Experiment Fig. 8: parallel filesystem vs. object storage I/O.
+
+Sweeps file size and reader count over the Lustre and MinIO models,
+reporting per-read latency and aggregate throughput.  Expected shape
+(paper): the object store wins on latency for small files; Lustre
+delivers higher throughput at scale (large files, many readers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.tables import render_table
+from ..storage import LustreModel, ObjectStoreModel, TieredFunctionStorage
+
+__all__ = ["Fig08Point", "Fig08Result", "run", "format_report"]
+
+KiB, MiB, GiB = 1024, 1024**2, 1024**3
+
+DEFAULT_SIZES = (4 * KiB, 64 * KiB, 1 * MiB, 16 * MiB, 256 * MiB, 1 * GiB)
+DEFAULT_READERS = (1, 4, 16, 64)
+
+
+@dataclass(frozen=True)
+class Fig08Point:
+    size_bytes: int
+    readers: int
+    lustre_latency_s: float
+    minio_latency_s: float
+    lustre_throughput: float        # aggregate bytes/s
+    minio_throughput: float
+
+    @property
+    def minio_wins_latency(self) -> bool:
+        return self.minio_latency_s < self.lustre_latency_s
+
+
+@dataclass
+class Fig08Result:
+    points: list[Fig08Point] = field(default_factory=list)
+    crossover_bytes_single_reader: int = 0
+
+
+def run(sizes=DEFAULT_SIZES, readers=DEFAULT_READERS,
+        pfs: LustreModel = None, store: ObjectStoreModel = None) -> Fig08Result:
+    pfs = pfs or LustreModel()
+    store = store or ObjectStoreModel()
+    result = Fig08Result()
+    for size in sizes:
+        for n in readers:
+            result.points.append(
+                Fig08Point(
+                    size_bytes=size,
+                    readers=n,
+                    lustre_latency_s=pfs.read_time(size, n),
+                    minio_latency_s=store.read_time(size, n),
+                    lustre_throughput=pfs.aggregate_throughput(size, n),
+                    minio_throughput=store.aggregate_throughput(size, n),
+                )
+            )
+    tiered = TieredFunctionStorage(pfs=pfs, cache=store)
+    result.crossover_bytes_single_reader = tiered.crossover_size()
+    return result
+
+
+def format_report(result: Fig08Result) -> str:
+    rows = [
+        [
+            p.size_bytes, p.readers,
+            p.lustre_latency_s * 1e3, p.minio_latency_s * 1e3,
+            p.lustre_throughput / 1e9, p.minio_throughput / 1e9,
+            "minio" if p.minio_wins_latency else "lustre",
+        ]
+        for p in result.points
+    ]
+    table = render_table(
+        ["size (B)", "readers", "lustre lat (ms)", "minio lat (ms)",
+         "lustre agg (GB/s)", "minio agg (GB/s)", "latency winner"],
+        rows,
+        title="Fig. 8 — Lustre vs MinIO",
+    )
+    return table + (
+        f"\nLatency crossover (1 reader): {result.crossover_bytes_single_reader / MiB:.1f} MiB."
+        "\nPaper: object storage lower latency for small files; Lustre"
+        " higher throughput at scale."
+    )

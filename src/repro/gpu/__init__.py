@@ -1,0 +1,19 @@
+"""GPU substrate: device model, GPU functions, remote-GPU comparison."""
+
+from .device import GpuDevice, GpuMemoryError, KernelLaunch
+from .gpu_function import (
+    GpuFunctionSpec,
+    inference_latency,
+    remote_gpu_overhead,
+    run_gpu_function,
+)
+
+__all__ = [
+    "GpuDevice",
+    "GpuMemoryError",
+    "KernelLaunch",
+    "GpuFunctionSpec",
+    "inference_latency",
+    "remote_gpu_overhead",
+    "run_gpu_function",
+]

@@ -1,0 +1,132 @@
+"""GPU device model (Sec. III-D, Fig. 12).
+
+A device executes kernels with a given SM *occupancy*; concurrent kernels
+time-share the SMs, so when total requested occupancy exceeds 1.0 every
+resident kernel dilates proportionally.  Device memory is explicitly
+allocated, and a *warm data* registry lets GPU functions "keep warm data
+in the device's memory until another application needs the device" —
+warm datasets are evicted LRU under memory pressure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.specs import GpuSpec
+from ..sim.engine import Environment, Process
+
+__all__ = ["GpuDevice", "GpuMemoryError", "KernelLaunch"]
+
+_launch_ids = itertools.count(1)
+
+
+class GpuMemoryError(MemoryError):
+    """Device memory exhausted (even after evicting warm data)."""
+
+
+@dataclass
+class KernelLaunch:
+    launch_id: int
+    owner: str
+    runtime_s: float
+    occupancy: float
+
+
+class GpuDevice:
+    """One accelerator: SM occupancy sharing + explicit memory."""
+
+    def __init__(self, env: Environment, spec: GpuSpec, name: str = "gpu0"):
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self._free_memory = spec.memory_bytes
+        self._allocations: dict[str, int] = {}      # owner -> bytes (pinned)
+        self._warm_data: dict[str, tuple[int, float]] = {}  # owner -> (bytes, last_used)
+        self._resident: dict[int, KernelLaunch] = {}
+        self.kernels_launched = 0
+        self.warm_evictions = 0
+
+    # -- memory -----------------------------------------------------------
+    @property
+    def free_memory(self) -> int:
+        return self._free_memory
+
+    @property
+    def current_occupancy(self) -> float:
+        return sum(k.occupancy for k in self._resident.values())
+
+    def allocate_memory(self, owner: str, nbytes: int) -> None:
+        """Hard allocation; evicts warm datasets under pressure."""
+        if nbytes <= 0:
+            raise ValueError("allocation must be positive")
+        while self._free_memory < nbytes and self._warm_data:
+            self._evict_lru_warm()
+        if self._free_memory < nbytes:
+            raise GpuMemoryError(
+                f"{self.name}: {nbytes} B requested, {self._free_memory} B free"
+            )
+        self._free_memory -= nbytes
+        self._allocations[owner] = self._allocations.get(owner, 0) + nbytes
+
+    def free_memory_of(self, owner: str) -> int:
+        freed = self._allocations.pop(owner, 0)
+        self._free_memory += freed
+        return freed
+
+    # -- warm data (soft allocations) --------------------------------------------
+    def keep_warm(self, owner: str, nbytes: int) -> None:
+        """Park a dataset on the device; reclaimable any time."""
+        if nbytes <= 0:
+            raise ValueError("warm data must be positive")
+        self.drop_warm(owner)
+        while self._free_memory < nbytes and self._warm_data:
+            self._evict_lru_warm()
+        if self._free_memory < nbytes:
+            raise GpuMemoryError(f"{self.name}: no room for warm data")
+        self._free_memory -= nbytes
+        self._warm_data[owner] = (nbytes, self.env.now)
+
+    def has_warm(self, owner: str) -> bool:
+        if owner in self._warm_data:
+            nbytes, _ = self._warm_data[owner]
+            self._warm_data[owner] = (nbytes, self.env.now)
+            return True
+        return False
+
+    def drop_warm(self, owner: str) -> None:
+        entry = self._warm_data.pop(owner, None)
+        if entry is not None:
+            self._free_memory += entry[0]
+
+    def _evict_lru_warm(self) -> None:
+        victim = min(self._warm_data, key=lambda o: self._warm_data[o][1])
+        self.drop_warm(victim)
+        self.warm_evictions += 1
+
+    # -- kernels ----------------------------------------------------------------
+    def launch(self, owner: str, runtime_s: float, occupancy: float) -> Process:
+        """Run a kernel; dilates while co-resident occupancy exceeds 1.
+
+        Dilation is approximated with the occupancy mix at launch time —
+        sufficient for the few-hundred-millisecond Rodinia kernels.
+        """
+        if runtime_s < 0:
+            raise ValueError("negative kernel runtime")
+        if not 0 < occupancy <= 1:
+            raise ValueError("occupancy in (0, 1]")
+        launch = KernelLaunch(next(_launch_ids), owner, runtime_s, occupancy)
+
+        def run():
+            self._resident[launch.launch_id] = launch
+            self.kernels_launched += 1
+            total = self.current_occupancy
+            dilation = max(1.0, total)
+            try:
+                yield self.env.timeout(runtime_s * dilation)
+            finally:
+                del self._resident[launch.launch_id]
+            return runtime_s * dilation
+
+        return self.env.process(run(), name=f"kernel-{owner}-{launch.launch_id}")

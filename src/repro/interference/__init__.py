@@ -1,0 +1,13 @@
+"""Interference substrate: demand vectors, contention model, counters."""
+
+from .counters import CounterProfile, CounterSample, sample_counters
+from .model import InterferenceModel, PlacementError, ResourceDemand
+
+__all__ = [
+    "CounterProfile",
+    "CounterSample",
+    "sample_counters",
+    "InterferenceModel",
+    "PlacementError",
+    "ResourceDemand",
+]

@@ -1,0 +1,6 @@
+"""Memory service: RMA buffers in idle memory, remote paging."""
+
+from .memory_function import MemoryClient, MemoryServiceFunction, TrafficPattern
+from .paging import RemotePager
+
+__all__ = ["MemoryClient", "MemoryServiceFunction", "TrafficPattern", "RemotePager"]

@@ -1,0 +1,6 @@
+"""MPI functions: elastic MPI ranks provisioned through the FaaS platform."""
+
+from .communicator import Communicator, MpiMessage
+from .elastic import BspReport, ElasticMpiGroup
+
+__all__ = ["Communicator", "MpiMessage", "BspReport", "ElasticMpiGroup"]

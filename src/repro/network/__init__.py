@@ -1,0 +1,23 @@
+"""Network substrate: LogGP model, fabric providers, RDMA transport, DRC."""
+
+from .drc import Credential, DrcError, DrcManager
+from .fabric import EFA, IBVERBS, PROVIDERS, TCP, UGNI, FabricProvider
+from .logp import LogGPParams, fit_loggp
+from .transport import Connection, NetworkFabric, TransferStats
+
+__all__ = [
+    "Credential",
+    "DrcError",
+    "DrcManager",
+    "EFA",
+    "IBVERBS",
+    "PROVIDERS",
+    "TCP",
+    "UGNI",
+    "FabricProvider",
+    "LogGPParams",
+    "fit_loggp",
+    "Connection",
+    "NetworkFabric",
+    "TransferStats",
+]

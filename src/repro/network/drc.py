@@ -1,0 +1,77 @@
+"""Dynamic RDMA Credentials (DRC) for cross-job uGNI communication.
+
+Cray's uGNI restricts communication to processes inside one batch job's
+protection domain.  rFaaS clients and executors live in *different* batch
+jobs, so the paper implements allocation and distribution of DRC
+credentials (Sec. IV-A, [Shimek'16]).  This module models the credential
+life-cycle: a server-side allocation creates a credential, the owner
+grants access to other users/jobs, and both sides must present the same
+credential id to establish a connection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Credential", "DrcError", "DrcManager"]
+
+_cred_ids = itertools.count(1000)
+
+
+class DrcError(PermissionError):
+    """Credential missing, revoked, or not granted to the requesting user."""
+
+
+@dataclass
+class Credential:
+    cred_id: int
+    owner: str
+    granted: set[str] = field(default_factory=set)
+    revoked: bool = False
+
+    def allows(self, user: str) -> bool:
+        return not self.revoked and (user == self.owner or user in self.granted)
+
+
+class DrcManager:
+    """System-wide credential registry (one per simulated machine)."""
+
+    def __init__(self):
+        self._credentials: dict[int, Credential] = {}
+
+    def acquire(self, owner: str) -> Credential:
+        """Allocate a fresh credential owned by ``owner``."""
+        cred = Credential(cred_id=next(_cred_ids), owner=owner)
+        self._credentials[cred.cred_id] = cred
+        return cred
+
+    def grant(self, cred_id: int, owner: str, user: str) -> None:
+        """Owner grants ``user`` access to the credential."""
+        cred = self._lookup(cred_id)
+        if cred.owner != owner:
+            raise DrcError(f"{owner!r} does not own credential {cred_id}")
+        if cred.revoked:
+            raise DrcError(f"credential {cred_id} is revoked")
+        cred.granted.add(user)
+
+    def authorize(self, cred_id: int, user: str) -> None:
+        """Raise unless ``user`` may communicate under ``cred_id``."""
+        cred = self._credentials.get(cred_id)
+        if cred is None:
+            raise DrcError(f"unknown credential {cred_id}")
+        if not cred.allows(user):
+            raise DrcError(f"user {user!r} not authorized for credential {cred_id}")
+
+    def release(self, cred_id: int, owner: str) -> None:
+        """Revoke the credential (e.g. the executor job ended)."""
+        cred = self._lookup(cred_id)
+        if cred.owner != owner:
+            raise DrcError(f"{owner!r} does not own credential {cred_id}")
+        cred.revoked = True
+
+    def _lookup(self, cred_id: int) -> Credential:
+        cred = self._credentials.get(cred_id)
+        if cred is None:
+            raise DrcError(f"unknown credential {cred_id}")
+        return cred

@@ -1,0 +1,78 @@
+"""Fabric providers: the network technologies of Table I.
+
+Cloud FaaS runs over TCP; HPC FaaS targets uGNI (Cray Aries via
+libfabric), ibverbs (InfiniBand) or AWS EFA.  Each provider is a calibrated
+:class:`~repro.network.logp.LogGPParams` plus metadata.  Parameters are
+calibrated so that the simulated Fig. 7 reproduces the published shape:
+libfabric/uGNI small-message RTT in the low single-digit microseconds,
+~10 GB/s asymptotic bandwidth on Aries, TCP two orders of magnitude
+slower for small messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .logp import LogGPParams
+
+__all__ = ["FabricProvider", "UGNI", "IBVERBS", "EFA", "TCP", "PROVIDERS"]
+
+
+@dataclass(frozen=True)
+class FabricProvider:
+    """A network provider with LogGP timing and capability flags."""
+
+    name: str
+    params: LogGPParams
+    rdma_capable: bool
+    kernel_bypass: bool
+    # Registration cost per memory region (pinning pages) in seconds —
+    # paid once per RDMA-enabled buffer, dominates small cold connections.
+    mr_registration_s: float = 0.0
+    # Connection establishment cost (QP exchange / TCP+TLS handshake).
+    connect_s: float = 0.0
+
+    def requires_credentials(self) -> bool:
+        """uGNI communication across batch jobs needs DRC (Sec. IV-A)."""
+        return self.name == "ugni"
+
+
+UGNI = FabricProvider(
+    name="ugni",
+    params=LogGPParams(L=0.85e-6, o=0.15e-6, G=1.0 / 10.2e9, g=0.05e-6, jitter_sigma=0.08),
+    rdma_capable=True,
+    kernel_bypass=True,
+    mr_registration_s=120e-6,
+    connect_s=8e-3,  # DRC acquisition + QP setup across jobs
+)
+
+IBVERBS = FabricProvider(
+    name="ibverbs",
+    params=LogGPParams(L=0.9e-6, o=0.2e-6, G=1.0 / 12.0e9, g=0.05e-6, jitter_sigma=0.08),
+    rdma_capable=True,
+    kernel_bypass=True,
+    mr_registration_s=100e-6,
+    connect_s=3e-3,
+)
+
+EFA = FabricProvider(
+    name="efa",
+    params=LogGPParams(L=15e-6, o=1.0e-6, G=1.0 / 12.0e9, g=0.2e-6, jitter_sigma=0.12),
+    rdma_capable=True,
+    kernel_bypass=True,
+    mr_registration_s=150e-6,
+    connect_s=5e-3,
+)
+
+TCP = FabricProvider(
+    name="tcp",
+    params=LogGPParams(L=25e-6, o=4e-6, G=1.0 / 1.2e9, g=1e-6, jitter_sigma=0.25),
+    rdma_capable=False,
+    kernel_bypass=False,
+    mr_registration_s=0.0,
+    connect_s=0.5e-3,
+)
+
+PROVIDERS: dict[str, FabricProvider] = {
+    p.name: p for p in (UGNI, IBVERBS, EFA, TCP)
+}

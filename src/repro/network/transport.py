@@ -1,0 +1,178 @@
+"""Simulated RDMA transport over the cluster interconnect.
+
+Endpoints open :class:`Connection` objects through a
+:class:`NetworkFabric`, then issue two-sided sends or one-sided RDMA
+reads/writes.  Timing follows the provider's LogGP parameters plus
+dragonfly hop latency, and *bandwidth contention* is modeled physically:
+a transfer holds the source node's egress channel and the destination
+node's ingress channel for its serialization time, so concurrent flows
+through one NIC queue behind each other.  That contention is exactly what
+the memory-service experiment (Fig. 11) and the offloading saturation
+point (Fig. 13) measure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.machine import Cluster
+from ..sim.engine import Environment, Event, Process
+from ..sim.resources import Resource
+from .drc import DrcManager
+from .fabric import FabricProvider
+
+__all__ = ["NetworkFabric", "Connection", "TransferStats"]
+
+_conn_ids = itertools.count(1)
+
+
+class TransferStats:
+    """Aggregate transfer accounting for one fabric."""
+
+    def __init__(self):
+        self.messages = 0
+        self.bytes = 0
+
+    def record(self, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+
+
+class Connection:
+    """A reliable connected queue pair between two nodes."""
+
+    def __init__(
+        self,
+        fabric: "NetworkFabric",
+        src: str,
+        dst: str,
+        user: str,
+        cred_id: Optional[int],
+    ):
+        self.conn_id = next(_conn_ids)
+        self.fabric = fabric
+        self.src = src
+        self.dst = dst
+        self.user = user
+        self.cred_id = cred_id
+        self.closed = False
+
+    # Each op returns a Process event that fires when the transfer lands.
+    def send(self, size_bytes: int) -> Process:
+        return self.fabric._transfer(self, self.src, self.dst, size_bytes, one_sided=False)
+
+    def recv_response(self, size_bytes: int) -> Process:
+        """A response flowing back dst -> src (e.g. invocation result)."""
+        return self.fabric._transfer(self, self.dst, self.src, size_bytes, one_sided=False)
+
+    def rdma_read(self, size_bytes: int) -> Process:
+        """One-sided read of remote memory (payload flows dst -> src)."""
+        return self.fabric._transfer(self, self.dst, self.src, size_bytes, one_sided=True)
+
+    def rdma_write(self, size_bytes: int) -> Process:
+        """One-sided write into remote memory (payload flows src -> dst)."""
+        return self.fabric._transfer(self, self.src, self.dst, size_bytes, one_sided=True)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class NetworkFabric:
+    """The simulated interconnect for one cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        provider: FabricProvider,
+        rng: Optional[np.random.Generator] = None,
+        drc: Optional[DrcManager] = None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.provider = provider
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.drc = drc
+        self.stats = TransferStats()
+        self._egress: dict[str, Resource] = {}
+        self._ingress: dict[str, Resource] = {}
+
+    def _channels(self, node: str) -> tuple[Resource, Resource]:
+        if node not in self._egress:
+            if node not in self.cluster:
+                raise KeyError(f"unknown node {node!r}")
+            self._egress[node] = Resource(self.env, capacity=1)
+            self._ingress[node] = Resource(self.env, capacity=1)
+        return self._egress[node], self._ingress[node]
+
+    # -- connection management -------------------------------------------------
+    def connect(self, src: str, dst: str, user: str, cred_id: Optional[int] = None) -> Process:
+        """Establish a connection; yields the :class:`Connection`.
+
+        On uGNI the credential is checked first (DRC, Sec. IV-A); the
+        connection setup cost covers QP exchange / credential acquisition.
+        """
+        if self.provider.requires_credentials():
+            if self.drc is None:
+                raise RuntimeError("uGNI fabric requires a DrcManager")
+            if cred_id is None:
+                raise PermissionError("uGNI cross-job connection requires a DRC credential")
+            self.drc.authorize(cred_id, user)
+        # Validate node names eagerly.
+        self._channels(src)
+        self._channels(dst)
+
+        def setup():
+            yield self.env.timeout(self.provider.connect_s)
+            return Connection(self, src, dst, user, cred_id)
+
+        return self.env.process(setup(), name=f"connect:{src}->{dst}")
+
+    # -- data movement ------------------------------------------------------------
+    def _transfer(
+        self,
+        conn: Connection,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        one_sided: bool,
+    ) -> Process:
+        if conn.closed:
+            raise RuntimeError("connection is closed")
+        if size_bytes < 0:
+            raise ValueError("negative transfer size")
+        params = self.provider.params
+        serialization = max(size_bytes * params.G, params.g)
+        hop = self.cluster.hop_latency(src, dst)
+        if one_sided:
+            base_latency = params.o + 2 * params.L + hop
+        else:
+            base_latency = 2 * params.o + params.L + hop
+        latency = params.sample(base_latency, self.rng)
+        egress, _ = self._channels(src)
+        _, ingress = self._channels(dst)
+
+        def run():
+            with egress.request() as ereq:
+                yield ereq
+                with ingress.request() as ireq:
+                    yield ireq
+                    yield self.env.timeout(serialization)
+            yield self.env.timeout(latency)
+            self.stats.record(size_bytes)
+            return size_bytes
+
+        return self.env.process(run(), name=f"xfer:{src}->{dst}:{size_bytes}B")
+
+    # -- analytic helpers (no simulation required) ---------------------------------
+    def expected_transfer_time(self, src: str, dst: str, size_bytes: int, one_sided: bool = False) -> float:
+        """Uncontended deterministic transfer time (used by planners)."""
+        params = self.provider.params
+        serialization = max(size_bytes * params.G, params.g)
+        hop = self.cluster.hop_latency(src, dst)
+        if one_sided:
+            return serialization + params.o + 2 * params.L + hop
+        return serialization + 2 * params.o + params.L + hop

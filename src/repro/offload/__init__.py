@@ -1,0 +1,22 @@
+"""LogP-based offloading: Eq. 1 planner, task graphs, live dispatcher."""
+
+from .dispatcher import DispatchReport, OffloadDispatcher, calibrate_model
+from .model import OffloadModel, OffloadPlan
+from .taskgraph import (
+    ScheduleResult,
+    TaskGraph,
+    prefix_scan_graph,
+    schedule_with_offloading,
+)
+
+__all__ = [
+    "DispatchReport",
+    "OffloadDispatcher",
+    "calibrate_model",
+    "OffloadModel",
+    "OffloadPlan",
+    "ScheduleResult",
+    "TaskGraph",
+    "prefix_scan_graph",
+    "schedule_with_offloading",
+]

@@ -1,0 +1,28 @@
+"""HPC-specialized serverless platform (rFaaS model)."""
+
+from .client import RFaaSClient
+from .executor import Executor, ExecutorMode, TerminationError
+from .lease import Lease, LeaseState
+from .load import NodeLoadRegistry
+from .manager import NoCapacityError, RegisteredNode, ResourceManager
+from .messages import InvocationRequest, InvocationResult, InvocationStatus, Timings
+from .registry import FunctionDef, FunctionRegistry
+
+__all__ = [
+    "RFaaSClient",
+    "Executor",
+    "ExecutorMode",
+    "TerminationError",
+    "Lease",
+    "LeaseState",
+    "NodeLoadRegistry",
+    "NoCapacityError",
+    "RegisteredNode",
+    "ResourceManager",
+    "InvocationRequest",
+    "InvocationResult",
+    "InvocationStatus",
+    "Timings",
+    "FunctionDef",
+    "FunctionRegistry",
+]

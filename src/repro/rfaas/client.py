@@ -1,0 +1,179 @@
+"""rFaaS client library.
+
+Handles the client side of the invocation protocol: leasing executor
+resources, establishing the RDMA connection (with DRC credentials on
+uGNI), sending payloads, and — crucially for ephemeral HPC capacity —
+transparently re-leasing and redirecting when the platform cancels a
+lease underneath the client (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..network.transport import Connection, NetworkFabric
+from ..sim.engine import Environment
+from .executor import Executor, TerminationError
+from .lease import Lease
+from .manager import NoCapacityError, ResourceManager
+from .messages import InvocationRequest, InvocationResult, InvocationStatus
+from .registry import FunctionDef, FunctionRegistry
+
+__all__ = ["RFaaSClient"]
+
+_client_ids = itertools.count(1)
+
+
+class RFaaSClient:
+    """A client application invoking functions from one cluster node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        manager: ResourceManager,
+        fabric: NetworkFabric,
+        functions: FunctionRegistry,
+        client_node: str,
+        name: Optional[str] = None,
+        max_redirects: int = 3,
+    ):
+        if max_redirects < 0:
+            raise ValueError("max_redirects must be non-negative")
+        self.env = env
+        self.manager = manager
+        self.fabric = fabric
+        self.functions = functions
+        self.client_node = client_node
+        self.name = name or f"client-{next(_client_ids)}"
+        self.max_redirects = max_redirects
+        self._lease: Optional[Lease] = None
+        self._executor: Optional[Executor] = None
+        self._connection: Optional[Connection] = None
+        self._leasing = None  # event guarding concurrent lease setup
+        self.redirects = 0
+
+    # -- lease/connection management --------------------------------------------
+    @property
+    def lease(self) -> Optional[Lease]:
+        return self._lease
+
+    def _lease_valid(self) -> bool:
+        return self._lease is not None and self._lease.active
+
+    def _on_cancel(self, lease: Lease) -> None:
+        # Platform revoked our lease: forget it so the next invocation
+        # re-leases elsewhere.  The connection object is left open —
+        # in-flight responses of a *graceful* drain must still arrive;
+        # the invocation path closes it once it notices the switch.
+        if self._lease is lease:
+            self._lease = None
+            self._executor = None
+            self._connection = None
+
+    def _ensure_lease(self, fdef: FunctionDef, cores: int, exclude: tuple[str, ...] = ()):
+        """Process: obtain a lease + connection if we lack one.
+
+        Concurrent invocations share one lease: the first caller performs
+        the setup while the others wait on a guard event.
+        """
+        while True:
+            if self._lease_valid() and self._connection is not None:
+                return
+            if self._leasing is not None:
+                yield self._leasing
+                continue
+            self._leasing = self.env.event()
+            try:
+                lease, executor = self.manager.lease(
+                    client=self.name,
+                    cores=cores,
+                    memory_bytes=fdef.memory_bytes,
+                    gpus=1 if fdef.needs_gpu else 0,
+                    image=fdef.image,
+                    exclude=exclude,
+                )
+                lease.on_cancel.append(self._on_cancel)
+                credential = self.manager.credential_for(lease.node_name)
+                connection = yield self.fabric.connect(
+                    self.client_node, lease.node_name, user=self.name,
+                    cred_id=credential.cred_id,
+                )
+                self._lease = lease
+                self._executor = executor
+                self._connection = connection
+            finally:
+                guard, self._leasing = self._leasing, None
+                guard.succeed()
+            return
+
+    def close(self) -> None:
+        if self._lease is not None and self._lease.active:
+            self.manager.release_lease(self._lease)
+        if self._connection is not None:
+            self._connection.close()
+        self._lease = None
+        self._executor = None
+        self._connection = None
+
+    # -- invocation ---------------------------------------------------------------
+    def invoke(self, function: str, payload_bytes: int = 0, cores: int = 1):
+        """Process: one invocation; yields an :class:`InvocationResult`.
+
+        On lease cancellation mid-flight the client redirects to a fresh
+        lease (excluding the reclaimed node) up to ``max_redirects``
+        times; exhaustion surfaces as a TERMINATED result.
+        """
+        fdef = self.functions.lookup(function)
+        return self.env.process(
+            self._invoke(fdef, payload_bytes, cores), name=f"{self.name}-invoke-{function}"
+        )
+
+    def _invoke(self, fdef: FunctionDef, payload_bytes: int, cores: int):
+        request = InvocationRequest(function=fdef.name, payload_bytes=payload_bytes)
+        exclude: tuple[str, ...] = ()
+        resume_offset = 0.0
+        for _attempt in range(self.max_redirects + 1):
+            try:
+                yield from self._ensure_lease(fdef, cores, exclude)
+            except NoCapacityError:
+                return InvocationResult(request=request, status=InvocationStatus.REJECTED)
+            executor, connection = self._executor, self._connection
+            if executor is None or connection is None:
+                # The lease was cancelled between setup and use (e.g. an
+                # immediate reclaim raced us); try again elsewhere.
+                self.redirects += 1
+                continue
+            t_start = self.env.now
+            try:
+                yield connection.send(payload_bytes)
+                network_out = self.env.now - t_start
+                if resume_offset:
+                    from dataclasses import replace as _replace
+
+                    request = _replace(request, resume_offset_s=resume_offset)
+                result: InvocationResult = yield executor.execute(fdef, request)
+                if result.status == InvocationStatus.REJECTED:
+                    # Executor started draining between lease and dispatch.
+                    exclude = exclude + (executor.node.name,)
+                    self.redirects += 1
+                    continue
+                t_back = self.env.now
+                yield connection.recv_response(result.output_bytes)
+                result.timings.network_out = network_out
+                result.timings.network_back = self.env.now - t_back
+                if self._connection is not connection:
+                    # Lease was cancelled while we were in flight; the
+                    # response has landed, so the old connection can go.
+                    connection.close()
+                return result
+            except TerminationError as term:
+                # Reclaimed mid-flight: redirect to a new lease, resuming
+                # from the checkpoint if the function supports it.
+                resume_offset = max(resume_offset, term.checkpoint_s)
+                exclude = exclude + ((executor.node.name,) if executor else ())
+                self.redirects += 1
+                if self._lease is not None and not self._lease.active:
+                    self._lease = None
+                continue
+        return InvocationResult(request=request, status=InvocationStatus.TERMINATED)

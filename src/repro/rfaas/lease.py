@@ -1,0 +1,63 @@
+"""Leases: rFaaS's ephemeral resource allocation mechanism.
+
+rFaaS "allows consecutive invocations to execute on the same resource
+allocated with a temporary lease" (Sec. IV).  When the batch system wants
+a node back, the executor "cancels existing leases, notifying the client
+libraries to redirect further requests to a new lease" (Sec. III-A) —
+that notification is the ``on_cancel`` callback here.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["LeaseState", "Lease"]
+
+_lease_ids = itertools.count(1)
+
+
+class LeaseState(enum.Enum):
+    ACTIVE = "active"
+    CANCELLED = "cancelled"     # platform reclaimed the resources
+    RELEASED = "released"       # client returned the lease
+
+
+@dataclass
+class Lease:
+    """A client's temporary claim on executor resources."""
+
+    client: str
+    node_name: str
+    cores: int
+    memory_bytes: int
+    gpus: int = 0
+    lease_id: int = field(default_factory=lambda: next(_lease_ids))
+    state: LeaseState = LeaseState.ACTIVE
+    on_cancel: list[Callable[["Lease"], None]] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.cores < 0 or self.memory_bytes < 0 or self.gpus < 0:
+            raise ValueError("lease resources must be non-negative")
+        if self.cores == 0 and self.memory_bytes == 0 and self.gpus == 0:
+            raise ValueError("empty lease")
+
+    @property
+    def active(self) -> bool:
+        return self.state == LeaseState.ACTIVE
+
+    def cancel(self) -> None:
+        """Platform-side revocation; notifies the client library."""
+        if self.state != LeaseState.ACTIVE:
+            return
+        self.state = LeaseState.CANCELLED
+        for callback in list(self.on_cancel):
+            callback(self)
+
+    def release(self) -> None:
+        """Client-side voluntary return."""
+        if self.state != LeaseState.ACTIVE:
+            return
+        self.state = LeaseState.RELEASED

@@ -1,0 +1,70 @@
+"""Protocol messages and invocation records of the rFaaS platform."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["InvocationStatus", "InvocationRequest", "InvocationResult", "Timings"]
+
+_invocation_ids = itertools.count(1)
+
+
+class InvocationStatus(enum.Enum):
+    OK = "ok"
+    TERMINATED = "terminated"        # executor reclaimed mid-flight
+    REJECTED = "rejected"            # no capacity / draining executor
+    FAILED = "failed"                # function raised
+
+
+@dataclass(frozen=True)
+class InvocationRequest:
+    """One function invocation as it travels to an executor."""
+
+    function: str
+    payload_bytes: int
+    invocation_id: int = field(default_factory=lambda: next(_invocation_ids))
+    # Completed work (seconds of nominal runtime) restored from a
+    # checkpoint after a termination; 0 = fresh start.
+    resume_offset_s: float = 0.0
+
+    def __post_init__(self):
+        if self.payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        if self.resume_offset_s < 0:
+            raise ValueError("resume offset must be non-negative")
+
+
+@dataclass
+class Timings:
+    """Latency breakdown of one invocation (all seconds)."""
+
+    network_out: float = 0.0
+    dispatch: float = 0.0       # executor wakeup / polling pickup
+    startup: float = 0.0        # container acquire (cold/warm/swapped)
+    io: float = 0.0             # input staging through function storage
+    execution: float = 0.0
+    network_back: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.network_out + self.dispatch + self.startup
+            + self.io + self.execution + self.network_back
+        )
+
+
+@dataclass
+class InvocationResult:
+    request: InvocationRequest
+    status: InvocationStatus
+    output_bytes: int = 0
+    timings: Timings = field(default_factory=Timings)
+    node_name: Optional[str] = None
+    startup_kind: Optional[str] = None   # "warm" | "swapped" | "cold"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == InvocationStatus.OK

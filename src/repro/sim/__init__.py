@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation substrate."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Container, FilterStore, Request, Resource, Store
+from .rng import RngRegistry, stream
+from .trace import EventLog, EventRecord, TimeSeries
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Container",
+    "FilterStore",
+    "Request",
+    "Resource",
+    "Store",
+    "RngRegistry",
+    "stream",
+    "EventLog",
+    "EventRecord",
+    "TimeSeries",
+]

@@ -1,0 +1,381 @@
+"""Deterministic discrete-event simulation engine.
+
+This is the substrate every simulated subsystem (cluster, scheduler,
+network, FaaS platform) runs on.  The design follows the classic
+process-interaction style popularized by SimPy: simulation *processes* are
+Python generators that ``yield`` :class:`Event` objects and are resumed
+when those events fire.  The engine is fully deterministic: events
+scheduled for the same timestamp fire in FIFO order of scheduling, so a
+seeded simulation replays bit-identically.
+
+The engine is self-contained (no third-party dependencies) because the
+reproduction environment is offline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Events move through three states: *pending* (created), *triggered*
+    (scheduled with a value, waiting in the event queue), and *processed*
+    (callbacks executed).  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("value not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule the event to fire successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Schedule the event to fire with an exception."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self._triggered = True
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._schedule(self, delay)
+
+
+class Initialize(Event):
+    """Internal: first resumption of a new process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._triggered = True
+        env._schedule(self)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A simulation process wrapping a generator of events.
+
+    The process itself is an event that fires (with the generator's return
+    value) when the generator finishes, so processes can wait on each
+    other simply by yielding them.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = ""):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event._triggered = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, priority=0)
+        # Detach from the event the process was waiting on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    # -- engine internals ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                env._active_process = None
+                self._ok = True
+                self._value = stop.value
+                self._triggered = True
+                env._schedule(self)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                self._ok = False
+                self._value = exc
+                self._triggered = True
+                env._schedule(self)
+                return
+
+            if not isinstance(next_event, Event):
+                env._active_process = None
+                exc = SimulationError(f"process {self.name!r} yielded non-event {next_event!r}")
+                self._ok = False
+                self._value = exc
+                self._triggered = True
+                env._schedule(self)
+                return
+
+            if next_event.callbacks is not None:
+                # Event still pending/triggered-but-unprocessed: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                env._active_process = None
+                return
+            # Event already processed: loop immediately with its value.
+            event = next_event
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not env:
+                raise SimulationError("events belong to different environments")
+        self._pending = len(self._events)
+        for ev in self._events:
+            if ev.callbacks is None:  # already processed
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        if not self._triggered and self._pending == 0:
+            self._finish()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._satisfied(event):
+            self._finish()
+
+    def _results(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self._events if ev._triggered}
+
+    def _finish(self) -> None:
+        self.succeed(self._results())
+
+    def _satisfied(self, event: Event) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every component event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self, event: Event) -> bool:
+        return self._pending == 0
+
+
+class AnyOf(_Condition):
+    """Fires when the first component event fires."""
+
+    __slots__ = ()
+
+    def _satisfied(self, event: Event) -> bool:
+        return True
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories -----------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        event._processed = True
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run until the queue drains or ``until`` (a time or an event)."""
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(f"until={stop_time} lies in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                return stop_event.value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.processed:
+                return stop_event.value
+            raise SimulationError("event queue drained before the awaited event fired")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,61 @@
+"""Partitions and GRES (generic resource) matching.
+
+The paper uses unmodified SLURM features for opt-in disaggregation
+(Sec. III-E): the ``shared`` flag or submission to a designated shared
+partition marks a job's leftovers as harvestable, and GRES describes GPU
+availability per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..cluster.node import Node
+from .job import JobSpec
+
+__all__ = ["Partition", "gres_available_gpus"]
+
+
+@dataclass
+class Partition:
+    """A named subset of nodes with scheduling limits."""
+
+    name: str
+    node_names: list[str]
+    max_walltime: float = 24 * 3600.0
+    # A shared partition implies co-location consent for every job in it.
+    shared_by_default: bool = False
+
+    def __post_init__(self):
+        if not self.node_names:
+            raise ValueError(f"partition {self.name!r} has no nodes")
+        if len(set(self.node_names)) != len(self.node_names):
+            raise ValueError(f"partition {self.name!r} has duplicate nodes")
+        if self.max_walltime <= 0:
+            raise ValueError("max_walltime must be positive")
+
+    def __len__(self) -> int:
+        return len(self.node_names)
+
+    def admits(self, spec: JobSpec) -> bool:
+        """Whether the job may be queued in this partition at all."""
+        return (
+            spec.partition == self.name
+            and spec.walltime <= self.max_walltime
+            and spec.nodes <= len(self.node_names)
+        )
+
+    def job_allows_sharing(self, spec: JobSpec) -> bool:
+        """Co-location consent: explicit flag or shared partition."""
+        return spec.shared or self.shared_by_default
+
+
+def gres_available_gpus(node: Node) -> int:
+    """GRES query: GPUs on the node not allocated to any tenant.
+
+    Whole free devices only — the paper rules out fractional GPU sharing
+    for security/interference reasons (Sec. III-E); sub-devices would come
+    from virtualization/partitioning below this layer.
+    """
+    return len(node.free_gpu_ids)

@@ -1,0 +1,7 @@
+"""Storage substrate: parallel filesystem, object store, tiered function I/O."""
+
+from .lustre import LustreModel
+from .objectstore import ObjectStoreModel
+from .tiered import TieredFunctionStorage
+
+__all__ = ["LustreModel", "ObjectStoreModel", "TieredFunctionStorage"]

@@ -1,0 +1,71 @@
+"""Lustre-like parallel filesystem model (Sec. IV-D, Fig. 8).
+
+A read costs a metadata round trip to the MDS plus data movement striped
+over OSTs.  Aggregate bandwidth grows with the OST count, so many
+concurrent readers scale well; the per-operation latency floor (RPC to
+MDS + first OST) is however milliseconds — higher than an in-memory
+object store for small files.  These two properties produce the paper's
+Fig. 8 crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LustreModel"]
+
+
+@dataclass(frozen=True)
+class LustreModel:
+    """Analytic performance model of a striped parallel filesystem."""
+
+    ost_count: int = 40
+    ost_bandwidth: float = 2.0e9        # bytes/s per OST
+    stripe_size: int = 1 << 20          # 1 MiB default Lustre stripe
+    stripe_count: int = 4               # OSTs per file by default
+    metadata_latency_s: float = 1.2e-3  # MDS RPC + layout fetch
+    rpc_latency_s: float = 0.25e-3      # per-OST first-byte latency
+    client_bandwidth: float = 5.0e9     # one client's network cap
+
+    def __post_init__(self):
+        if self.ost_count < 1 or self.stripe_count < 1:
+            raise ValueError("ost_count and stripe_count must be >= 1")
+        if min(self.ost_bandwidth, self.client_bandwidth) <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.stripe_size < 1:
+            raise ValueError("stripe_size must be >= 1")
+
+    def effective_stripes(self, size_bytes: int) -> int:
+        """How many OSTs a file of this size actually touches."""
+        touched = max(1, -(-size_bytes // self.stripe_size))  # ceil div
+        return min(touched, self.stripe_count, self.ost_count)
+
+    def single_read_time(self, size_bytes: int) -> float:
+        """Latency of one uncontended read of ``size_bytes``."""
+        if size_bytes < 0:
+            raise ValueError("negative size")
+        stripes = self.effective_stripes(max(size_bytes, 1))
+        bandwidth = min(stripes * self.ost_bandwidth, self.client_bandwidth)
+        return self.metadata_latency_s + self.rpc_latency_s + size_bytes / bandwidth
+
+    def read_time(self, size_bytes: int, concurrent_readers: int = 1) -> float:
+        """Per-reader latency with ``concurrent_readers`` identical readers.
+
+        Readers share the aggregate OST bandwidth; per-client network
+        limits still apply.  Metadata service is assumed provisioned for
+        the load (Lustre MDS handles >10k ops/s).
+        """
+        if concurrent_readers < 1:
+            raise ValueError("need >= 1 reader")
+        if size_bytes < 0:
+            raise ValueError("negative size")
+        stripes = self.effective_stripes(max(size_bytes, 1))
+        aggregate = self.ost_count * self.ost_bandwidth
+        fair_share = aggregate / concurrent_readers
+        per_reader = min(stripes * self.ost_bandwidth, self.client_bandwidth, fair_share)
+        return self.metadata_latency_s + self.rpc_latency_s + size_bytes / per_reader
+
+    def aggregate_throughput(self, size_bytes: int, concurrent_readers: int = 1) -> float:
+        """Total delivered bytes/s across all readers."""
+        t = self.read_time(size_bytes, concurrent_readers)
+        return concurrent_readers * size_bytes / t

@@ -1,0 +1,54 @@
+"""MinIO-like object storage model (Sec. IV-D, Fig. 8).
+
+The paper deploys MinIO as a warm cache for small files: an in-memory
+object server answers GETs with sub-millisecond latency but all traffic
+funnels through a handful of server NICs, so aggregate throughput
+saturates quickly as readers or file sizes grow — the opposite scaling
+regime from Lustre.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ObjectStoreModel"]
+
+
+@dataclass(frozen=True)
+class ObjectStoreModel:
+    """Analytic performance model of a small object-storage deployment."""
+
+    server_count: int = 2
+    server_bandwidth: float = 10.0e9     # bytes/s NIC per server
+    request_latency_s: float = 0.35e-3   # HTTP GET on the HPC network
+    per_mib_cpu_s: float = 0.04e-3       # HTTP/erasure-coding CPU cost
+    client_bandwidth: float = 5.0e9
+
+    def __post_init__(self):
+        if self.server_count < 1:
+            raise ValueError("need >= 1 server")
+        if min(self.server_bandwidth, self.client_bandwidth) <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    def single_read_time(self, size_bytes: int) -> float:
+        if size_bytes < 0:
+            raise ValueError("negative size")
+        bandwidth = min(self.server_bandwidth, self.client_bandwidth)
+        cpu = self.per_mib_cpu_s * size_bytes / (1 << 20)
+        return self.request_latency_s + cpu + size_bytes / bandwidth
+
+    def read_time(self, size_bytes: int, concurrent_readers: int = 1) -> float:
+        """Per-reader latency; all readers share the server NICs."""
+        if concurrent_readers < 1:
+            raise ValueError("need >= 1 reader")
+        if size_bytes < 0:
+            raise ValueError("negative size")
+        aggregate = self.server_count * self.server_bandwidth
+        fair_share = aggregate / concurrent_readers
+        bandwidth = min(self.client_bandwidth, fair_share)
+        cpu = self.per_mib_cpu_s * size_bytes / (1 << 20)
+        return self.request_latency_s + cpu + size_bytes / bandwidth
+
+    def aggregate_throughput(self, size_bytes: int, concurrent_readers: int = 1) -> float:
+        t = self.read_time(size_bytes, concurrent_readers)
+        return concurrent_readers * size_bytes / t

@@ -1,0 +1,58 @@
+"""Tiered function I/O: parallel FS + object-store warm cache (Sec. IV-D).
+
+The paper's final I/O design mounts the user's Lustre partitions inside
+the function container *and* keeps MinIO "as a warm cache for lower
+latency on small files".  The tier selector routes each read to whichever
+backend the Fig. 8 curves favour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .lustre import LustreModel
+from .objectstore import ObjectStoreModel
+
+__all__ = ["TieredFunctionStorage"]
+
+
+@dataclass
+class TieredFunctionStorage:
+    """Routes reads to the object-store cache or the parallel filesystem."""
+
+    pfs: LustreModel = field(default_factory=LustreModel)
+    cache: ObjectStoreModel = field(default_factory=ObjectStoreModel)
+    # Objects at or below this size are served from the cache tier.
+    cache_threshold_bytes: int = 4 << 20
+
+    def __post_init__(self):
+        if self.cache_threshold_bytes < 0:
+            raise ValueError("threshold must be non-negative")
+
+    def tier_for(self, size_bytes: int) -> str:
+        return "cache" if size_bytes <= self.cache_threshold_bytes else "pfs"
+
+    def read_time(self, size_bytes: int, concurrent_readers: int = 1) -> float:
+        if self.tier_for(size_bytes) == "cache":
+            return self.cache.read_time(size_bytes, concurrent_readers)
+        return self.pfs.read_time(size_bytes, concurrent_readers)
+
+    def crossover_size(self, concurrent_readers: int = 1, lo: int = 1024, hi: int = 1 << 30) -> int:
+        """Smallest size at which the PFS beats the cache (bisection).
+
+        Returns ``hi`` if the cache wins everywhere in [lo, hi].
+        """
+        if not self._pfs_wins(hi, concurrent_readers):
+            return hi
+        if self._pfs_wins(lo, concurrent_readers):
+            return lo
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._pfs_wins(mid, concurrent_readers):
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def _pfs_wins(self, size: int, readers: int) -> bool:
+        return self.pfs.read_time(size, readers) < self.cache.read_time(size, readers)

@@ -1,0 +1,77 @@
+"""MILC: the paper's canonical memory-bandwidth-bound batch job.
+
+MILC (lattice QCD, su3_rmd) is "known to be memory-intensive and
+extremely sensitive to both memory bandwidth and network performance"
+(Sec. V-C, refs [93-99]).  In the co-location experiments it is the
+workload that *does* feel perturbation, especially at larger problem
+sizes where its working set and bandwidth demand grow — the model below
+encodes exactly that trend.
+
+The mini-kernel multiplies SU(3)-like complex 3x3 matrices over a 4-D
+lattice, the dominant operation of the real code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AppModel
+
+__all__ = ["milc_model", "milc_kernel", "MILC_LATTICE_SIZES"]
+
+GBs = 1e9
+MiB = 1024**2
+
+#: Per-rank 4-D lattice edge lengths used in the co-location studies.
+MILC_LATTICE_SIZES = (8, 12, 16, 24)
+
+
+def milc_model(lattice: int = 16, gpu: bool = False) -> AppModel:
+    """Demand model for one MILC rank on an L^4 local lattice.
+
+    Bandwidth demand per rank grows with the lattice because the working
+    set leaves cache entirely; boundness rises accordingly.  This makes
+    larger MILC runs *more* sensitive to co-located memory traffic, the
+    Fig. 11b observation.
+    """
+    if lattice < 4:
+        raise ValueError("lattice must be >= 4")
+    sites = lattice**4
+    # ~61 KB per site for gauge links + momenta at our fidelity cap.
+    working_set = float(min(sites * 600, 40 * MiB))
+    membw = float(np.interp(lattice, [8, 12, 16, 24], [2.2, 2.9, 3.4, 4.0])) * GBs
+    frac_membw = float(np.interp(lattice, [8, 12, 16, 24], [0.42, 0.5, 0.56, 0.62]))
+    runtime = sites * 1.0e-6
+    return AppModel(
+        name=f"milc-l{lattice}" + ("-gpu" if gpu else ""),
+        runtime_s=runtime,
+        membw_per_rank=membw,
+        netbw_per_rank=0.09 * GBs,
+        llc_per_rank=working_set,
+        frac_membw=frac_membw,
+        frac_netbw=0.12,
+        gpu_fraction=0.8 if gpu else 0.0,
+    )
+
+
+def milc_kernel(lattice: int = 8, iterations: int = 2, seed: int = 0) -> float:
+    """Runnable QCD surrogate: staple-like SU(3) matrix products."""
+    if lattice < 2 or iterations < 1:
+        raise ValueError("need lattice >= 2 and iterations >= 1")
+    rng = np.random.default_rng(seed)
+    sites = lattice**4
+    # Gauge field: one complex 3x3 matrix per site and direction.
+    links = rng.standard_normal((4, sites, 3, 3)) + 1j * rng.standard_normal((4, sites, 3, 3))
+    links /= np.sqrt(3.0)
+    accum = np.zeros((sites, 3, 3), dtype=complex)
+    for _ in range(iterations):
+        for mu in range(4):
+            for nu in range(4):
+                if mu == nu:
+                    continue
+                # Staple product U_mu(x) U_nu(x+mu) U_mu(x+nu)^dagger,
+                # neighbour shifts approximated by a site roll.
+                shifted = np.roll(links[nu], lattice**mu % sites, axis=0)
+                staple = links[mu] @ shifted @ np.conj(np.swapaxes(links[mu], -1, -2))
+                accum += staple
+    return float(np.abs(accum).sum())

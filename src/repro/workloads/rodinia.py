@@ -1,0 +1,74 @@
+"""Rodinia GPU benchmarks (Fig. 12's GPU-function stand-ins).
+
+The paper runs Rodinia kernels in Sarus containers bound to a single
+spare CPU core; "these benchmarks simulate GPU functions as each only
+takes a few hundred milliseconds".  A GPU function's node footprint is
+exactly that: one core to drive the device, a sliver of host memory
+bandwidth for staging, plus device-side occupancy handled by
+``repro.gpu``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import AppModel
+
+__all__ = ["RodiniaBenchmark", "RODINIA_BENCHMARKS", "rodinia_benchmark"]
+
+GBs = 1e9
+MiB = 1024**2
+
+
+@dataclass(frozen=True)
+class RodiniaBenchmark:
+    """One Rodinia kernel: host-side demand + device-side requirements."""
+
+    name: str
+    runtime_s: float            # few hundred ms each (Sec. V-C)
+    device_memory_bytes: int
+    gpu_occupancy: float        # fraction of SMs busy while running
+    host: AppModel              # the 1-core host driver profile
+
+    def __post_init__(self):
+        if not 0 < self.gpu_occupancy <= 1:
+            raise ValueError("gpu_occupancy in (0, 1]")
+        if self.device_memory_bytes <= 0:
+            raise ValueError("device memory must be positive")
+
+
+def _host(name: str, runtime: float, membw: float = 0.4 * GBs) -> AppModel:
+    # A GPU driver process: one core, mostly waiting on the device,
+    # staging data through pinned host buffers.
+    return AppModel(
+        name=f"rodinia-{name}-host",
+        runtime_s=runtime,
+        membw_per_rank=membw,
+        netbw_per_rank=0.0,
+        llc_per_rank=2 * MiB,
+        frac_membw=0.15,
+    )
+
+
+RODINIA_BENCHMARKS: dict[str, RodiniaBenchmark] = {
+    b.name: b
+    for b in (
+        RodiniaBenchmark("backprop", 0.25, 512 * MiB, 0.55, _host("backprop", 0.25)),
+        RodiniaBenchmark("bfs", 0.31, 768 * MiB, 0.35, _host("bfs", 0.31, 0.8 * GBs)),
+        RodiniaBenchmark("hotspot", 0.18, 256 * MiB, 0.7, _host("hotspot", 0.18)),
+        RodiniaBenchmark("kmeans", 0.42, 1024 * MiB, 0.6, _host("kmeans", 0.42, 0.6 * GBs)),
+        RodiniaBenchmark("lavamd", 0.38, 384 * MiB, 0.85, _host("lavamd", 0.38)),
+        RodiniaBenchmark("needle", 0.29, 512 * MiB, 0.5, _host("needle", 0.29)),
+        RodiniaBenchmark("pathfinder", 0.15, 256 * MiB, 0.45, _host("pathfinder", 0.15)),
+        RodiniaBenchmark("srad", 0.33, 640 * MiB, 0.65, _host("srad", 0.33)),
+    )
+}
+
+
+def rodinia_benchmark(name: str) -> RodiniaBenchmark:
+    try:
+        return RODINIA_BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown Rodinia benchmark {name!r}; available: {sorted(RODINIA_BENCHMARKS)}"
+        ) from None

@@ -1,0 +1,80 @@
+"""Analysis helpers: idle statistics and table rendering."""
+
+import pytest
+
+from repro.analysis import (
+    idle_duration_stats,
+    render_table,
+    sampled_idle_durations,
+    utilization_summary,
+)
+from repro.sim import TimeSeries
+
+
+def test_idle_duration_stats():
+    stats = idle_duration_stats([60, 120, 300, 900, 1200])
+    assert stats.count == 5
+    assert stats.median_s == 300
+    assert stats.fraction_under_10min == pytest.approx(3 / 5)
+    assert stats.p90_s > stats.median_s
+    with pytest.raises(ValueError):
+        idle_duration_stats([])
+
+
+def test_sampled_idle_durations_counts_runs():
+    ts = TimeSeries()
+    for i, v in enumerate([1, 0, 0, 1, 0, 0, 0, 1]):
+        ts.record(i * 120, v)
+    assert sampled_idle_durations(ts, 120) == [240, 360]
+    with pytest.raises(ValueError):
+        sampled_idle_durations(ts, 0)
+
+
+def test_sampled_idle_durations_open_trailing_run():
+    ts = TimeSeries()
+    for i, v in enumerate([1, 0, 0]):
+        ts.record(i * 120, v)
+    assert sampled_idle_durations(ts, 120) == [240]
+
+
+def test_utilization_summary():
+    ts = TimeSeries()
+    for i, v in enumerate([2, 4, 2, 0]):
+        ts.record(i * 120, v)
+    summary = utilization_summary(ts, total_nodes=10)
+    assert summary["median_idle_nodes"] == 2
+    assert summary["max_idle_nodes"] == 4
+    assert summary["median_allocated_fraction"] == pytest.approx(0.8)
+    with pytest.raises(ValueError):
+        utilization_summary(ts, total_nodes=0)
+    with pytest.raises(ValueError):
+        utilization_summary(TimeSeries(), total_nodes=5)
+
+
+def test_render_table_alignment_and_validation():
+    text = render_table(["a", "bb"], [[1, 2.5], ["xx", 0.001]], title="T")
+    lines = text.split("\n")
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+    # All data lines equal width.
+    assert len(set(len(line) for line in lines[1:])) <= 2
+    with pytest.raises(ValueError):
+        render_table([], [])
+    with pytest.raises(ValueError):
+        render_table(["a"], [[1, 2]])
+
+
+def test_render_table_empty_rows_ok():
+    text = render_table(["col"], [])
+    assert "col" in text
+
+
+def test_format_value_ranges():
+    from repro.analysis import format_value
+
+    assert format_value(0.0) == "0"
+    assert "e" in format_value(1e-6)
+    assert format_value(123.456) == "123.5"
+    assert format_value(1.2345) == "1.234"
+    assert format_value("x") == "x"

@@ -1,0 +1,109 @@
+"""Failure injection: node death under batch jobs and function executors."""
+
+import pytest
+
+from repro.cluster import Cluster, DAINT_MC
+from repro.sim import Environment
+from repro.slurm import BatchScheduler, JobSpec, JobState
+
+from .test_full_loop import FullRig
+
+GiB = 1024**3
+
+
+def spec(nodes=1, walltime=100.0, cores=36):
+    return JobSpec(user="u", app="a", nodes=nodes, cores_per_node=cores,
+                   memory_per_node=4 * GiB, walltime=walltime, runtime=walltime)
+
+
+def test_node_failure_kills_owning_job():
+    env = Environment()
+    cluster = Cluster()
+    cluster.add_nodes("n", 2, DAINT_MC)
+    sched = BatchScheduler(env, cluster)
+    job = sched.submit(spec(nodes=2))
+    env.run(until=10)
+    victim = sched.fail_node(job.node_names[0])
+    assert victim is job
+    env.run(until=20)
+    assert job.state == JobState.FAILED
+    assert job.end_time == 10
+    # All the job's nodes were released, including healthy ones.
+    for name in job.node_names:
+        assert cluster.node(name).allocations_of_kind("batch") == ()
+
+
+def test_failed_node_not_rescheduled_until_restore():
+    env = Environment()
+    cluster = Cluster()
+    cluster.add_nodes("n", 2, DAINT_MC)
+    sched = BatchScheduler(env, cluster)
+    sched.fail_node("n0000")
+    job = sched.submit(spec(nodes=1, walltime=5.0))
+    env.run(until=1)
+    assert job.node_names == ("n0001",)
+    # A 2-node job cannot start while one node is down.
+    wide = sched.submit(spec(nodes=2, walltime=5.0))
+    env.run(until=20)
+    assert wide.state == JobState.PENDING
+    sched.restore_node("n0000")
+    env.run()
+    assert wide.state == JobState.COMPLETED
+
+
+def test_failure_of_idle_node_kills_nothing():
+    env = Environment()
+    cluster = Cluster()
+    cluster.add_nodes("n", 2, DAINT_MC)
+    sched = BatchScheduler(env, cluster)
+    assert sched.fail_node("n0000") is None
+    assert cluster.node("n0000").draining
+    kinds = [r.kind for r in sched.log]
+    assert "node_failure" in kinds
+
+
+def test_failure_event_logged_with_job():
+    env = Environment()
+    cluster = Cluster()
+    cluster.add_nodes("n", 1, DAINT_MC)
+    sched = BatchScheduler(env, cluster)
+    job = sched.submit(spec(nodes=1))
+    env.run(until=1)
+    sched.fail_node("n0000")
+    record = sched.log.of_kind("node_failure")[0]
+    assert record.payload["job_id"] == job.job_id
+
+
+def test_function_clients_survive_node_failure():
+    """The platform side of a failure: executor node dies mid-invocation,
+    the client redirects, work completes elsewhere."""
+    rig = FullRig(nodes=3, seed=9)
+    results = []
+
+    def invoker():
+        client_stream = rig.function_stream("n0002", horizon=100.0)
+        yield client_stream
+
+    def killer():
+        yield rig.env.timeout(5.0)
+        # Find a node serving functions and fail it end-to-end: batch
+        # side + serverless side.
+        for name in list(rig.manager.registered_nodes()):
+            executor = rig.manager.node_info(name).executor
+            if executor.active_invocations:
+                rig.scheduler.fail_node(name)
+                rig.manager.remove_node(name, immediate=True)
+                results.append(name)
+                return
+
+    rig.env.process(invoker())
+    rig.env.process(killer())
+    rig.env.run(until=100.0)
+    assert results, "expected to fail an active executor node"
+    failed = results[0]
+    # Invocations continued on the surviving nodes.
+    assert rig.stats["ok"] > 10
+    assert failed not in rig.manager.registered_nodes()
+    # The failed node carries no serverless leftovers.
+    node = rig.scheduler.cluster.node(failed)
+    assert node.allocations_of_kind("function") == ()

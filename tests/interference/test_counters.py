@@ -1,0 +1,61 @@
+"""Counter sampling and profile recovery."""
+
+import numpy as np
+import pytest
+
+from repro.interference import (
+    CounterProfile,
+    ResourceDemand,
+    sample_counters,
+)
+
+GBs = 1e9
+MiB = 1024**2
+
+
+def demand():
+    return ResourceDemand(
+        cores=4, membw=8 * GBs, netbw=1 * GBs, llc_bytes=16 * MiB,
+        frac_membw=0.4, frac_netbw=0.1,
+    )
+
+
+def test_samples_reflect_demand():
+    samples = sample_counters(demand(), np.random.default_rng(0), windows=50)
+    assert len(samples) == 50
+    mean_dram = np.mean([s.dram_bandwidth for s in samples])
+    assert mean_dram == pytest.approx(8 * GBs, rel=0.05)
+    mean_net = np.mean([s.net_bandwidth for s in samples])
+    assert mean_net == pytest.approx(1 * GBs, rel=0.05)
+
+
+def test_sampling_validation():
+    with pytest.raises(ValueError):
+        sample_counters(demand(), np.random.default_rng(0), windows=0)
+    with pytest.raises(ValueError):
+        sample_counters(demand(), np.random.default_rng(0), window_s=0)
+
+
+def test_profile_roundtrip_recovers_demand():
+    """profile(samples(demand)) ~= demand — the Fig. 4 feedback loop."""
+    original = demand()
+    samples = sample_counters(original, np.random.default_rng(1), windows=100)
+    profile = CounterProfile.from_samples(samples)
+    recovered = profile.to_demand(llc_bytes=original.llc_bytes)
+    assert recovered.cores == original.cores
+    assert recovered.membw == pytest.approx(original.membw, rel=0.05)
+    assert recovered.netbw == pytest.approx(original.netbw, rel=0.05)
+    # Boundness estimate lands in a sane band.
+    assert 0.0 < recovered.frac_membw < 0.6
+
+
+def test_profile_requires_samples():
+    with pytest.raises(ValueError):
+        CounterProfile.from_samples([])
+
+
+def test_memory_hog_classified_memory_bound():
+    hog = ResourceDemand(cores=1, membw=12 * GBs, frac_membw=0.9)
+    samples = sample_counters(hog, np.random.default_rng(2), windows=50)
+    recovered = CounterProfile.from_samples(samples).to_demand()
+    assert recovered.frac_membw > 0.7

@@ -1,0 +1,34 @@
+"""Statistical shape of network jitter (the Fig. 7 p95 behaviour)."""
+
+import numpy as np
+
+from repro.network import TCP, UGNI
+
+
+def sample_rtts(provider, size, n=4000, seed=0):
+    rng = np.random.default_rng(seed)
+    base = provider.params.round_trip(size, size)
+    return np.array([provider.params.sample(base, rng) for _ in range(n)])
+
+
+def test_jitter_produces_heavier_upper_tail():
+    rtts = sample_rtts(UGNI, 64)
+    p50, p95 = np.percentile(rtts, [50, 95])
+    assert p95 > p50
+    # Lognormal: the p95/p50 ratio reflects sigma (~1.14 at sigma=0.08).
+    assert 1.05 < p95 / p50 < 1.35
+
+
+def test_tcp_jitter_wider_than_rdma():
+    ugni = sample_rtts(UGNI, 1024)
+    tcp = sample_rtts(TCP, 1024)
+    ratio_ugni = np.percentile(ugni, 95) / np.percentile(ugni, 50)
+    ratio_tcp = np.percentile(tcp, 95) / np.percentile(tcp, 50)
+    assert ratio_tcp > ratio_ugni  # kernel stacks are noisier
+
+
+def test_median_tracks_deterministic_base():
+    base = UGNI.params.round_trip(4096, 4096)
+    rtts = sample_rtts(UGNI, 4096)
+    # Lognormal with mu=0 has median == base.
+    assert abs(np.median(rtts) / base - 1.0) < 0.03

@@ -1,0 +1,84 @@
+"""Function I/O through the storage tier (Sec. IV-D integration)."""
+
+import pytest
+
+from repro.storage import LustreModel, ObjectStoreModel, TieredFunctionStorage
+
+from .conftest import Harness
+
+MiB = 1024**2
+GiB = 1024**3
+
+
+def run_one(h, function):
+    out = {}
+
+    def proc():
+        client = h.client()
+        result = yield client.invoke(function)
+        out["result"] = result
+
+    h.env.process(proc())
+    h.env.run()
+    return out["result"]
+
+
+def test_no_input_no_io_time():
+    h = Harness()
+    h.register_node("n0001")
+    h.register_function("noio", runtime_s=0.0)
+    result = run_one(h, "noio")
+    assert result.timings.io == 0.0
+
+
+def test_small_input_served_from_cache_tier():
+    h = Harness()
+    h.register_node("n0001")
+    h.register_function("smallio", runtime_s=0.0, input_read_bytes=256 * 1024)
+    result = run_one(h, "smallio")
+    # Object-store latency floor: sub-millisecond.
+    assert 0 < result.timings.io < 1.5e-3
+
+
+def test_large_input_served_from_pfs():
+    h = Harness()
+    h.register_node("n0001")
+    size = 410 * MiB  # the OpenMC opr input of Sec. V-D
+    h.register_function("bigio", runtime_s=0.0, input_read_bytes=size)
+    result = run_one(h, "bigio")
+    pfs = TieredFunctionStorage().pfs.read_time(size)
+    assert result.timings.io == pytest.approx(pfs)
+    assert result.timings.io > 0.05  # hundreds of MB take real time
+
+
+def test_io_counted_in_total():
+    h = Harness()
+    h.register_node("n0001")
+    h.register_function("fn", runtime_s=0.1, input_read_bytes=64 * MiB)
+    result = run_one(h, "fn")
+    t = result.timings
+    assert t.total == pytest.approx(
+        t.network_out + t.dispatch + t.startup + t.io + t.execution + t.network_back
+    )
+    assert t.io > 0 and t.execution >= 0.1
+
+
+def test_custom_storage_configuration():
+    # An executor can be given a deliberately slow PFS.
+    h = Harness()
+    reg = h.register_node("n0001")
+    slow = TieredFunctionStorage(
+        pfs=LustreModel(ost_bandwidth=0.1e9, client_bandwidth=0.1e9),
+        cache=ObjectStoreModel(),
+        cache_threshold_bytes=1,
+    )
+    reg.executor.storage = slow
+    h.register_function("fn", runtime_s=0.0, input_read_bytes=64 * MiB)
+    result = run_one(h, "fn")
+    assert result.timings.io > 0.5
+
+
+def test_negative_input_rejected():
+    h = Harness()
+    with pytest.raises(ValueError):
+        h.register_function("bad", runtime_s=0.0, input_read_bytes=-1)

@@ -1,0 +1,75 @@
+"""Time-limited functions (Sec. III-A): admission-time enforcement."""
+
+import pytest
+
+from repro.rfaas import InvocationStatus
+
+from .conftest import Harness
+
+
+def test_over_limit_invocation_rejected():
+    h = Harness()
+    h.manager.register_node("n0001", cores=2, memory_bytes=8 << 30,
+                            max_invocation_s=1.0)
+    h.register_function("too-long", runtime_s=5.0)
+    client = h.client()
+    out = {}
+
+    def proc():
+        result = yield client.invoke("too-long")
+        out["result"] = result
+
+    h.env.process(proc())
+    h.env.run()
+    # Rejected on every registered node -> surfaces as REJECTED/TERMINATED.
+    assert out["result"].status in (InvocationStatus.REJECTED, InvocationStatus.TERMINATED)
+
+
+def test_within_limit_accepted():
+    h = Harness()
+    h.manager.register_node("n0001", cores=2, memory_bytes=8 << 30,
+                            max_invocation_s=1.0)
+    h.register_function("quick", runtime_s=0.5)
+    client = h.client()
+    out = {}
+
+    def proc():
+        result = yield client.invoke("quick")
+        out["result"] = result
+
+    h.env.process(proc())
+    h.env.run()
+    assert out["result"].ok
+
+
+def test_limit_applies_to_dilated_runtime():
+    """The limit guards wall-clock occupancy, so dilation counts."""
+    from repro.interference import ResourceDemand
+
+    h = Harness()
+    h.manager.register_node("n0001", cores=2, memory_bytes=8 << 30,
+                            max_invocation_s=1.0)
+    hog = ResourceDemand(cores=16, membw=120e9, llc_bytes=80 << 20, frac_membw=0.9)
+    h.loads.add("n0001", "hog", hog)
+    # 0.9 s nominal, but the hog dilates it past the 1 s limit.
+    h.register_function(
+        "borderline", runtime_s=0.9,
+        demand=ResourceDemand(cores=1, membw=10e9, llc_bytes=20 << 20, frac_membw=0.9),
+    )
+    client = h.client()
+    out = {}
+
+    def proc():
+        result = yield client.invoke("borderline")
+        out["result"] = result
+
+    h.env.process(proc())
+    h.env.run()
+    assert not out["result"].ok
+
+
+def test_limit_validation():
+    h = Harness()
+    with pytest.raises(ValueError):
+        h.manager.register_node("n0001", cores=1, memory_bytes=1 << 30,
+                                max_invocation_s=0.0)

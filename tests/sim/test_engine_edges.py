@@ -1,0 +1,159 @@
+"""Engine edge cases: conditions with failures, nested waits, restarts."""
+
+import pytest
+
+from repro.sim import AnyOf, Environment, Event, Interrupt, SimulationError
+
+
+def test_all_of_fails_if_component_fails():
+    env = Environment()
+    good = env.timeout(1)
+    bad = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield env.all_of([good, bad])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield env.timeout(0.5)
+        bad.fail(RuntimeError("component died"))
+
+    env.process(waiter())
+    env.process(failer())
+    env.run()
+    assert caught == ["component died"]
+
+
+def test_any_of_with_already_processed_event():
+    env = Environment()
+    done = env.timeout(0)
+
+    def waiter():
+        yield env.timeout(1)   # `done` fires and is processed meanwhile
+        result = yield env.any_of([done, env.timeout(100)])
+        return (env.now, list(result.values()))
+
+    p = env.process(waiter())
+    env.run(until=p)
+    assert p.value[0] == 1  # resolved immediately at wait time
+
+
+def test_process_waits_on_already_finished_process():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1)
+        return "done"
+
+    child = env.process(quick())
+
+    def parent():
+        yield env.timeout(5)    # child long finished
+        result = yield child
+        return (env.now, result)
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == (5, "done")
+
+
+def test_chained_interrupt_and_resume():
+    env = Environment()
+    log = []
+
+    def worker():
+        for attempt in range(3):
+            try:
+                yield env.timeout(10)
+                log.append(("finished", attempt, env.now))
+                return
+            except Interrupt:
+                log.append(("interrupted", attempt, env.now))
+
+    def interrupter(victim):
+        for _ in range(2):
+            yield env.timeout(3)
+            victim.interrupt()
+
+    victim = env.process(worker())
+    env.process(interrupter(victim))
+    env.run()
+    assert log[0] == ("interrupted", 0, 3)
+    assert log[1] == ("interrupted", 1, 6)
+    assert log[2] == ("finished", 2, 16)
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_unwaited_failed_event_crashes_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("nobody caught me"))
+    with pytest.raises(RuntimeError, match="nobody caught me"):
+        env.run()
+
+
+def test_defused_failed_event_is_silent():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("handled"))
+    ev.defuse()
+    env.run()  # no raise
+
+
+def test_run_twice_continues_from_stop_point():
+    env = Environment()
+    marks = []
+
+    def proc():
+        for _ in range(4):
+            yield env.timeout(10)
+            marks.append(env.now)
+
+    env.process(proc())
+    env.run(until=25)
+    assert marks == [10, 20]
+    env.run()
+    assert marks == [10, 20, 30, 40]
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc():
+        value = yield env.timeout(2, value="payload")
+        return value
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == "payload"
+
+
+def test_environment_initial_time():
+    env = Environment(initial_time=100.0)
+    assert env.now == 100.0
+    fired = []
+
+    def proc():
+        yield env.timeout(5)
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert fired == [105.0]

@@ -1,0 +1,79 @@
+"""FilterStore: predicate-matched gets (MPI mailbox semantics)."""
+
+from repro.sim import Environment, FilterStore
+
+
+def test_get_matches_predicate_not_fifo():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer():
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    env.process(consumer())
+    store.put(1)
+    store.put(3)
+    store.put(4)
+    env.run()
+    assert got == [4]
+    assert store.items == [1, 3]
+
+
+def test_waiting_getters_served_when_item_arrives():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer(tag, want):
+        item = yield store.get(lambda x, w=want: x == w)
+        got.append((tag, item, env.now))
+
+    env.process(consumer("a", "x"))
+    env.process(consumer("b", "y"))
+
+    def producer():
+        yield env.timeout(1)
+        store.put("y")
+        yield env.timeout(1)
+        store.put("x")
+
+    env.process(producer())
+    env.run()
+    assert ("b", "y", 1) in got
+    assert ("a", "x", 2) in got
+
+
+def test_multiple_getters_one_item_each():
+    env = Environment()
+    store = FilterStore(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    for _ in range(3):
+        env.process(consumer())
+    for i in range(3):
+        store.put(i)
+    env.run()
+    assert sorted(got) == [0, 1, 2]
+    assert len(store) == 0
+
+
+def test_default_predicate_takes_first():
+    env = Environment()
+    store = FilterStore(env)
+    store.put("first")
+    store.put("second")
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    env.process(consumer())
+    env.run()
+    assert got == ["first"]

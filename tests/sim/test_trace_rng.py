@@ -1,0 +1,112 @@
+"""Tests for time-series tracing and RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import EventLog, RngRegistry, TimeSeries
+
+
+def test_timeseries_step_lookup():
+    ts = TimeSeries("x")
+    ts.record(0, 1.0)
+    ts.record(10, 2.0)
+    ts.record(20, 0.0)
+    assert ts.value_at(0) == 1.0
+    assert ts.value_at(9.99) == 1.0
+    assert ts.value_at(10) == 2.0
+    assert ts.value_at(25) == 0.0
+
+
+def test_timeseries_rejects_non_monotonic():
+    ts = TimeSeries()
+    ts.record(5, 1)
+    with pytest.raises(ValueError):
+        ts.record(4, 2)
+
+
+def test_timeseries_same_instant_overwrite():
+    ts = TimeSeries()
+    ts.record(1, 10)
+    ts.record(1, 20)
+    assert len(ts) == 1
+    assert ts.value_at(1) == 20
+
+
+def test_timeseries_lookup_before_first_raises():
+    ts = TimeSeries()
+    ts.record(5, 1)
+    with pytest.raises(ValueError):
+        ts.value_at(4)
+    with pytest.raises(ValueError):
+        TimeSeries().value_at(0)
+
+
+def test_timeseries_sampling_grid():
+    ts = TimeSeries()
+    ts.record(0, 0)
+    ts.record(3, 1)
+    ts.record(7, 2)
+    sampled = ts.sample(0, 8, 2)
+    assert list(sampled.times) == [0, 2, 4, 6, 8]
+    assert list(sampled.values) == [0, 0, 1, 1, 2]
+
+
+def test_time_weighted_mean():
+    ts = TimeSeries()
+    ts.record(0, 0.0)
+    ts.record(5, 10.0)
+    ts.record(10, 0.0)
+    # 0 for 5s then 10 for 5s over [0, 10] -> mean 5
+    assert ts.time_weighted_mean(0, 10) == pytest.approx(5.0)
+
+
+def test_intervals_where_extracts_spans():
+    ts = TimeSeries()
+    for t, v in [(0, 1), (2, 0), (5, 1), (9, 0), (12, 0)]:
+        ts.record(t, v)
+    idle = ts.intervals_where(lambda v: v == 0)
+    assert idle == [(2, 5), (9, 12)]
+
+
+def test_intervals_where_open_at_end():
+    ts = TimeSeries()
+    ts.record(0, 1)
+    ts.record(4, 0)
+    ts.record(10, 0)
+    assert ts.intervals_where(lambda v: v == 0) == [(4, 10)]
+
+
+def test_eventlog_filters():
+    log = EventLog()
+    log.emit(1.0, "start", job=1)
+    log.emit(2.0, "end", job=1)
+    log.emit(3.0, "start", job=2)
+    assert len(log) == 3
+    assert [r.payload["job"] for r in log.of_kind("start")] == [1, 2]
+    assert log.kinds() == {"start", "end"}
+    assert len(log.between(1.5, 3.0)) == 2
+
+
+def test_rng_streams_independent_and_reproducible():
+    reg1 = RngRegistry(seed=42)
+    reg2 = RngRegistry(seed=42)
+    a1 = reg1.stream("jobs").random(100)
+    a2 = reg2.stream("jobs").random(100)
+    np.testing.assert_array_equal(a1, a2)
+
+    # Different stream names differ.
+    b = RngRegistry(seed=42).stream("network").random(100)
+    assert not np.array_equal(a1, b)
+
+    # Different seeds differ.
+    c = RngRegistry(seed=43).stream("jobs").random(100)
+    assert not np.array_equal(a1, c)
+
+
+def test_rng_stream_is_cached():
+    reg = RngRegistry(seed=1)
+    assert reg.stream("x") is reg.stream("x")
+    reg.reset()
+    first = RngRegistry(seed=1).stream("x").random(5)
+    again = reg.stream("x").random(5)
+    np.testing.assert_array_equal(first, again)

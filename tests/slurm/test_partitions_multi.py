@@ -1,0 +1,91 @@
+"""Multi-partition scheduling and GPU (GRES) job handling."""
+
+import pytest
+
+from repro.cluster import Cluster, DAINT_GPU, DAINT_MC
+from repro.sim import Environment
+from repro.slurm import BatchScheduler, JobSpec, JobState, Partition
+
+GiB = 1024**3
+
+
+def make():
+    env = Environment()
+    cluster = Cluster()
+    cluster.add_nodes("mc", 2, DAINT_MC)
+    cluster.add_nodes("gpu", 2, DAINT_GPU)
+    partitions = [
+        Partition(name="mc", node_names=["mc0000", "mc0001"]),
+        Partition(name="gpu", node_names=["gpu0000", "gpu0001"], max_walltime=3600.0),
+    ]
+    sched = BatchScheduler(env, cluster, partitions=partitions)
+    return env, cluster, sched
+
+
+def spec(partition, nodes=1, gpus=0, cores=12, walltime=100.0):
+    return JobSpec(user="u", app="a", nodes=nodes, cores_per_node=cores,
+                   memory_per_node=1 * GiB, walltime=walltime, runtime=walltime,
+                   gpus_per_node=gpus, partition=partition)
+
+
+def test_partitions_isolate_nodes():
+    env, cluster, sched = make()
+    mc_job = sched.submit(spec("mc", nodes=2, cores=36))
+    gpu_job = sched.submit(spec("gpu", nodes=2, gpus=1))
+    env.run(until=1)
+    assert set(mc_job.node_names) == {"mc0000", "mc0001"}
+    assert set(gpu_job.node_names) == {"gpu0000", "gpu0001"}
+
+
+def test_partition_queues_independent():
+    env, _, sched = make()
+    # Saturate the mc partition; the gpu partition stays available.
+    sched.submit(spec("mc", nodes=2, cores=36, walltime=100.0))
+    blocked = sched.submit(spec("mc", nodes=1, cores=36, walltime=50.0))
+    free = sched.submit(spec("gpu", nodes=1, walltime=50.0))
+    env.run(until=1)
+    assert blocked.state == JobState.PENDING
+    assert free.state == JobState.RUNNING
+
+
+def test_gpu_job_allocates_devices():
+    env, cluster, sched = make()
+    job = sched.submit(spec("gpu", nodes=1, gpus=1))
+    env.run(until=1)
+    node = cluster.node(job.node_names[0])
+    assert node.free_gpu_ids == frozenset()
+    env.run()
+    assert node.free_gpu_ids == {0}
+
+
+def test_gpu_request_on_cpu_partition_never_starts():
+    env, _, sched = make()
+    job = sched.submit(spec("mc", nodes=1, gpus=1))
+    env.run(until=200)
+    assert job.state == JobState.PENDING  # no mc node has GPUs
+
+
+def test_partition_walltime_limit():
+    env, _, sched = make()
+    with pytest.raises(ValueError):
+        sched.submit(spec("gpu", walltime=7200.0))
+
+
+def test_free_nodes_per_partition():
+    env, _, sched = make()
+    sched.submit(spec("mc", nodes=1, cores=36, walltime=50.0))
+    env.run(until=1)
+    assert len(sched.free_node_names("mc")) == 1
+    assert len(sched.free_node_names("gpu")) == 2
+    assert sched.idle_node_count() == 3
+
+
+def test_duplicate_partition_rejected():
+    env = Environment()
+    cluster = Cluster()
+    cluster.add_nodes("n", 2, DAINT_MC)
+    with pytest.raises(ValueError):
+        BatchScheduler(env, cluster, partitions=[
+            Partition(name="p", node_names=["n0000"]),
+            Partition(name="p", node_names=["n0001"]),
+        ])

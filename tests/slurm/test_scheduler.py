@@ -1,0 +1,181 @@
+"""Batch scheduler behaviour: FCFS, backfill, hooks, reclamation."""
+
+import pytest
+
+from repro.cluster import Cluster, DAINT_MC
+from repro.sim import Environment
+from repro.slurm import BatchScheduler, JobSpec, JobState, Partition
+
+GiB = 1024**3
+
+
+def make(n_nodes=4, partitions=None):
+    env = Environment()
+    cluster = Cluster()
+    cluster.add_nodes("n", n_nodes, DAINT_MC)
+    sched = BatchScheduler(env, cluster, partitions=partitions)
+    return env, cluster, sched
+
+
+def spec(nodes=1, walltime=100.0, runtime=None, cores=36, shared=False, partition="normal", mem=4 * GiB):
+    return JobSpec(
+        user="u", app="app", nodes=nodes, cores_per_node=cores,
+        memory_per_node=mem, walltime=walltime,
+        runtime=runtime if runtime is not None else walltime,
+        shared=shared, partition=partition,
+    )
+
+
+def test_job_starts_and_completes():
+    env, cluster, sched = make(2)
+    job = sched.submit(spec(nodes=1, walltime=50))
+    env.run()
+    assert job.state == JobState.COMPLETED
+    assert job.start_time == 0
+    assert job.end_time == 50
+    assert sched.idle_node_count() == 2
+    assert cluster.node(job.node_names[0]).is_idle
+
+
+def test_whole_node_granularity():
+    env, cluster, sched = make(2)
+    # Two 1-node jobs using few cores still occupy distinct nodes.
+    j1 = sched.submit(spec(nodes=1, cores=4, walltime=100))
+    j2 = sched.submit(spec(nodes=1, cores=4, walltime=100))
+    env.run(until=1)
+    assert j1.node_names != j2.node_names
+    assert sched.idle_node_count() == 0
+
+
+def test_fcfs_queueing():
+    env, _, sched = make(2)
+    j1 = sched.submit(spec(nodes=2, walltime=100))
+    j2 = sched.submit(spec(nodes=2, walltime=100))
+    env.run()
+    assert j1.start_time == 0
+    assert j2.start_time == 100
+
+
+def test_easy_backfill_short_job_jumps_ahead():
+    env, _, sched = make(4)
+    long = sched.submit(spec(nodes=2, walltime=100))      # runs now
+    wide = sched.submit(spec(nodes=4, walltime=100))      # blocked head, shadow t=100
+    short = sched.submit(spec(nodes=2, walltime=50))      # fits before shadow
+    env.run()
+    assert long.start_time == 0
+    assert short.start_time == 0       # backfilled
+    assert wide.start_time == 100      # not delayed by backfill
+
+
+def test_backfill_never_delays_head():
+    env, _, sched = make(4)
+    sched.submit(spec(nodes=2, walltime=100))
+    head = sched.submit(spec(nodes=4, walltime=100))
+    # Too long to finish before shadow, and needs the head's nodes.
+    late = sched.submit(spec(nodes=2, walltime=500))
+    env.run()
+    assert head.start_time == 100
+    assert late.start_time >= 100
+
+
+def test_backfill_on_spare_nodes_may_run_long():
+    env, _, sched = make(4)
+    sched.submit(spec(nodes=1, walltime=100))              # 3 nodes remain
+    head = sched.submit(spec(nodes=4, walltime=100))       # blocked; shadow=100, extra=0... wait
+    # extra nodes at shadow: at t=100 the 1-node job releases; available=4,
+    # head takes 4 -> extra 0. A long backfill on remaining nodes would
+    # delay the head, so it must NOT start before the head.
+    long_backfill = sched.submit(spec(nodes=3, walltime=1000))
+    env.run()
+    assert head.start_time == 100
+    assert long_backfill.start_time >= head.start_time
+
+
+def test_walltime_used_for_shadow_runtime_for_completion():
+    env, _, sched = make(2)
+    # Job finishes earlier than its walltime; queue drains on actual end.
+    j1 = sched.submit(spec(nodes=2, walltime=1000, runtime=10))
+    j2 = sched.submit(spec(nodes=2, walltime=10))
+    env.run()
+    assert j1.end_time == 10
+    assert j2.start_time == 10
+
+
+def test_unknown_partition_rejected():
+    env, _, sched = make(2)
+    with pytest.raises(KeyError):
+        sched.submit(spec(partition="nope"))
+
+
+def test_inadmissible_job_rejected():
+    env, _, sched = make(2)
+    with pytest.raises(ValueError):
+        sched.submit(spec(nodes=3))  # partition has 2 nodes
+
+
+def test_cancel_pending_and_running():
+    env, _, sched = make(1)
+    running = sched.submit(spec(nodes=1, walltime=100))
+    queued = sched.submit(spec(nodes=1, walltime=100))
+    env.run(until=10)
+    sched.cancel(queued)
+    assert queued.state == JobState.CANCELLED
+    sched.cancel(running)
+    env.run()
+    assert running.state == JobState.CANCELLED
+    assert running.end_time == 10
+    with pytest.raises(ValueError):
+        sched.cancel(running)
+
+
+def test_hooks_fire_and_reclaim_called():
+    env, _, sched = make(2)
+    events = []
+    sched.on_job_start.append(lambda job: events.append(("start", job.job_id)))
+    sched.on_job_end.append(lambda job: events.append(("end", job.job_id)))
+    reclaimed = []
+    sched.reclaim_hook = lambda names: reclaimed.append(tuple(names))
+    job = sched.submit(spec(nodes=2, walltime=20))
+    env.run()
+    assert ("start", job.job_id) in events
+    assert ("end", job.job_id) in events
+    assert reclaimed == [job.node_names]
+
+
+def test_used_fractions_reflect_actual_use():
+    env, cluster, sched = make(2)
+    sched.submit(spec(nodes=2, cores=18, walltime=100, mem=64 * GiB))
+    env.run(until=1)
+    assert sched.used_core_fraction() == pytest.approx(0.5)
+    assert sched.used_memory_fraction() == pytest.approx(0.5)
+    assert sched.allocated_node_count() == 2
+
+
+def test_sharing_consent_via_partition():
+    env, cluster, _ = make(2)
+    parts = [
+        Partition(name="normal", node_names=["n0000"]),
+        Partition(name="coloc", node_names=["n0001"], shared_by_default=True),
+    ]
+    env2 = Environment()
+    sched = BatchScheduler(env2, cluster, partitions=parts)
+    j1 = sched.submit(spec(nodes=1, shared=False))
+    j2 = sched.submit(spec(nodes=1, shared=False, partition="coloc"))
+    assert not sched.sharing_consent(j1)
+    assert sched.sharing_consent(j2)
+
+
+def test_event_log_records_lifecycle():
+    env, _, sched = make(1)
+    sched.submit(spec(nodes=1, walltime=5))
+    env.run()
+    kinds = [r.kind for r in sched.log]
+    assert kinds == ["submit", "start", "end"]
+
+
+def test_draining_node_not_scheduled():
+    env, cluster, sched = make(2)
+    cluster.node("n0000").draining = True
+    job = sched.submit(spec(nodes=1, walltime=10))
+    env.run(until=1)
+    assert job.node_names == ("n0001",)

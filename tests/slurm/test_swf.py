@@ -1,0 +1,120 @@
+"""SWF trace export/import round trips."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, DAINT_MC
+from repro.sim import Environment
+from repro.slurm import (
+    BatchScheduler,
+    JobState,
+    SwfRecord,
+    WorkloadConfig,
+    WorkloadGenerator,
+    drive_workload,
+    read_swf,
+    write_swf,
+)
+
+
+def run_trace(nodes=8, hours=1.0, seed=0):
+    env = Environment()
+    cluster = Cluster()
+    cluster.add_nodes("n", nodes, DAINT_MC)
+    sched = BatchScheduler(env, cluster)
+    gen = WorkloadGenerator(
+        np.random.default_rng(seed), nodes,
+        WorkloadConfig(target_utilization=0.85, runtime_median_s=120.0,
+                       max_runtime_s=600.0, max_nodes=4),
+    )
+    drive_workload(env, sched, gen, duration=hours * 3600)
+    env.run()
+    return sched
+
+
+def test_write_and_read_roundtrip():
+    sched = run_trace()
+    buffer = io.StringIO()
+    count = write_swf(sched.completed, buffer)
+    assert count == len(sched.completed) > 10
+    buffer.seek(0)
+    records = read_swf(buffer)
+    assert len(records) == count
+    by_id = {job.job_id: job for job in sched.completed}
+    for record in records:
+        job = by_id[record.job_id]
+        assert record.submit_time == int(job.submit_time)
+        assert record.wait_time == int(job.wait_time)
+        assert record.runtime == pytest.approx(job.end_time - job.start_time, abs=1)
+        assert record.procs == job.spec.total_cores
+        assert record.status == 1  # completed
+
+
+def test_records_reconstruct_specs():
+    sched = run_trace()
+    buffer = io.StringIO()
+    write_swf(sched.completed, buffer)
+    buffer.seek(0)
+    for record in read_swf(buffer, limit=20):
+        spec = record.to_spec(cores_per_node=36)
+        assert spec.nodes >= 1
+        assert 1 <= spec.cores_per_node <= 36
+        assert spec.nodes * 36 >= record.procs
+        assert spec.runtime <= spec.walltime
+
+
+def test_reimported_trace_drives_scheduler():
+    """An exported trace replays through a fresh scheduler."""
+    sched = run_trace(nodes=4, hours=0.5, seed=3)
+    buffer = io.StringIO()
+    write_swf(sched.completed, buffer)
+    buffer.seek(0)
+    records = read_swf(buffer, limit=10)
+
+    env = Environment()
+    cluster = Cluster()
+    cluster.add_nodes("n", 8, DAINT_MC)
+    replay = BatchScheduler(env, cluster)
+
+    def submitter():
+        t0 = records[0].submit_time
+        for record in records:
+            gap = record.submit_time - t0
+            if gap > 0:
+                yield env.timeout(gap)
+                t0 = record.submit_time
+            replay.submit(record.to_spec())
+
+    env.process(submitter())
+    env.run()
+    assert len(replay.completed) == len(records)
+    assert all(j.state == JobState.COMPLETED for j in replay.completed)
+
+
+def test_comments_and_limits():
+    text = "; header\n; more\n" + " ".join(["7", "0", "1", "10", "4"] + ["-1"] * 13)
+    records = read_swf(io.StringIO(text))
+    assert len(records) == 1
+    assert records[0].job_id == 7
+    assert read_swf(io.StringIO(text), limit=0) == []
+
+
+def test_malformed_line_rejected():
+    with pytest.raises(ValueError):
+        read_swf(io.StringIO("1 2 3\n"))
+
+
+def test_file_path_roundtrip(tmp_path):
+    sched = run_trace(nodes=4, hours=0.5, seed=5)
+    path = tmp_path / "trace.swf"
+    count = write_swf(sched.completed, path)
+    assert path.exists()
+    assert len(read_swf(path)) == count
+
+
+def test_spec_reconstruction_validation():
+    record = SwfRecord([1, 0, 0, 10, 0] + [-1] * 13)
+    with pytest.raises(ValueError):
+        record.to_spec()

@@ -1,0 +1,52 @@
+"""CLI experiment runner tests."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _parse_overrides, main
+
+
+def collect():
+    lines = []
+    return lines, lambda text: lines.append(text)
+
+
+def test_list_shows_every_experiment():
+    lines, out = collect()
+    assert main(["list"], out=out) == 0
+    text = "\n".join(lines)
+    for name in EXPERIMENTS:
+        assert name in text
+
+
+def test_run_single_experiment_with_override():
+    lines, out = collect()
+    code = main(["run", "fig08"], out=out)
+    assert code == 0
+    assert any("Fig. 8" in line for line in lines)
+    assert any("completed in" in line for line in lines)
+
+
+def test_run_with_set_override():
+    lines, out = collect()
+    main(["run", "tab03", "--set", "counts=(1, 4)"], out=out)
+    text = "\n".join(lines)
+    assert "Table III" in text
+    assert "| 1 " in text and "| 4 " in text
+
+
+def test_parse_overrides():
+    assert _parse_overrides(["a=1", "b=2.5", "c=(1,2)", "d=text"]) == {
+        "a": 1, "b": 2.5, "c": (1, 2), "d": "text",
+    }
+    with pytest.raises(SystemExit):
+        _parse_overrides(["missing-equals"])
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"], out=lambda s: None)
+
+
+def test_all_rejects_overrides():
+    with pytest.raises(SystemExit):
+        main(["run", "all", "--set", "x=1"], out=lambda s: None)

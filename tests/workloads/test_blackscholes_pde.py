@@ -1,0 +1,84 @@
+"""PDE Black-Scholes solver: validation against the closed form."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import OptionBatch, price_options
+from repro.workloads.blackscholes_pde import PdeGrid, pde_chunk, solve_european_pde
+
+
+def closed_form(spot, strike, rate, vol, expiry, is_call):
+    batch = OptionBatch(
+        spot=np.array([spot]), strike=np.array([strike]), rate=np.array([rate]),
+        volatility=np.array([vol]), expiry=np.array([expiry]),
+        is_call=np.array([is_call]),
+    )
+    return float(price_options(batch)[0])
+
+
+@pytest.mark.parametrize("is_call", [True, False])
+@pytest.mark.parametrize("spot,strike,vol,expiry", [
+    (100.0, 100.0, 0.2, 1.0),
+    (120.0, 100.0, 0.3, 0.5),
+    (80.0, 100.0, 0.15, 2.0),
+])
+def test_pde_matches_closed_form(spot, strike, vol, expiry, is_call):
+    rate = 0.05
+    pde = solve_european_pde(spot, strike, rate, vol, expiry, is_call,
+                             grid=PdeGrid(space_points=600, time_steps=600))
+    exact = closed_form(spot, strike, rate, vol, expiry, is_call)
+    assert pde == pytest.approx(exact, abs=0.05)
+
+
+def test_textbook_value():
+    # S=K=100, r=5%, sigma=20%, T=1y call: 10.4506.
+    pde = solve_european_pde(100, 100, 0.05, 0.2, 1.0, True,
+                             grid=PdeGrid(space_points=800, time_steps=800))
+    assert pde == pytest.approx(10.4506, abs=0.03)
+
+
+def test_refinement_converges():
+    exact = closed_form(100, 100, 0.05, 0.25, 1.0, True)
+    coarse = solve_european_pde(100, 100, 0.05, 0.25, 1.0, True,
+                                grid=PdeGrid(space_points=50, time_steps=50))
+    fine = solve_european_pde(100, 100, 0.05, 0.25, 1.0, True,
+                              grid=PdeGrid(space_points=400, time_steps=400))
+    assert abs(fine - exact) < abs(coarse - exact)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        solve_european_pde(0, 100, 0.05, 0.2, 1.0)
+    with pytest.raises(ValueError):
+        solve_european_pde(100, 100, -0.01, 0.2, 1.0)
+    with pytest.raises(ValueError):
+        PdeGrid(space_points=2)
+    with pytest.raises(ValueError):
+        PdeGrid(s_max_factor=1.0)
+
+
+def test_pde_chunk_batches():
+    payload = {
+        "spot": [100.0, 110.0], "strike": [100.0, 100.0], "rate": [0.05, 0.05],
+        "volatility": [0.2, 0.2], "expiry": [1.0, 1.0], "is_call": [True, False],
+        "space_points": 300, "time_steps": 300,
+    }
+    prices = pde_chunk(payload)
+    assert len(prices) == 2
+    assert prices[0] == pytest.approx(closed_form(100, 100, 0.05, 0.2, 1.0, True), abs=0.1)
+    assert prices[1] == pytest.approx(closed_form(110, 100, 0.05, 0.2, 1.0, False), abs=0.1)
+
+
+def test_pde_chunk_usable_remotely():
+    """The heavyweight kernel runs through the live runtime too."""
+    from repro.local import LocalRuntime
+
+    payload = {
+        "spot": [100.0], "strike": [100.0], "rate": [0.05],
+        "volatility": [0.2], "expiry": [1.0], "is_call": [True],
+        "space_points": 100, "time_steps": 100,
+    }
+    with LocalRuntime(workers=1) as rt:
+        rt.register("pde", "repro.workloads.blackscholes_pde:pde_chunk")
+        remote = rt.invoke_sync("pde", payload)
+    assert remote == pde_chunk(payload)
