@@ -4,10 +4,16 @@ Usage::
 
     python -m repro list
     python -m repro run fig07 --set samples=100
+    python -m repro run fig07 --trace trace.json --metrics-out metrics.txt
     python -m repro run all
+    python -m repro telemetry summary trace.json
 
 ``--set key=value`` pairs are parsed as Python literals and forwarded to
-the experiment's ``run()``.
+the experiment's ``run()``.  ``--trace`` writes a Chrome ``trace_event``
+JSON (open in Perfetto / about://tracing), ``--spans`` a JSONL span
+dump, and ``--metrics-out`` a Prometheus-style text exposition; all
+three observe the run through a :class:`~repro.telemetry.TelemetryCollector`
+without perturbing simulated time.
 """
 
 from __future__ import annotations
@@ -28,6 +34,14 @@ from .experiments import (
     fig12_gpu_sharing,
     fig13_offloading,
     tab03_idle_node,
+)
+from .telemetry import (
+    TelemetryCollector,
+    load_spans,
+    span_summary_table,
+    write_chrome_trace,
+    write_prometheus_text,
+    write_spans_jsonl,
 )
 
 __all__ = ["EXPERIMENTS", "main"]
@@ -68,6 +82,19 @@ def _run_one(name: str, overrides: dict[str, Any], out: Callable[[str], None]) -
     out(f"[{name} completed in {elapsed:.2f}s]\n")
 
 
+def _export_telemetry(collector: TelemetryCollector, args: argparse.Namespace,
+                      out: Callable[[str], None]) -> None:
+    if args.trace:
+        n = write_chrome_trace(collector.spans, args.trace)
+        out(f"[trace: {n} events -> {args.trace}]")
+    if args.spans:
+        n = write_spans_jsonl(collector.spans, args.spans)
+        out(f"[spans: {n} spans -> {args.spans}]")
+    if args.metrics_out:
+        write_prometheus_text(collector.registries(), args.metrics_out)
+        out(f"[metrics -> {args.metrics_out}]")
+
+
 def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,6 +108,28 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         "--set", action="append", default=[], metavar="key=value",
         help="override a run() keyword argument (repeatable)",
     )
+    run_parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome trace_event JSON of the run (Perfetto-loadable)",
+    )
+    run_parser.add_argument(
+        "--spans", metavar="FILE", default=None,
+        help="write a JSONL dump of all recorded spans",
+    )
+    run_parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write a Prometheus-style text dump of all metrics",
+    )
+    telemetry_parser = sub.add_parser(
+        "telemetry", help="inspect exported telemetry",
+    )
+    telemetry_sub = telemetry_parser.add_subparsers(dest="telemetry_command", required=True)
+    summary_parser = telemetry_sub.add_parser(
+        "summary", help="per-span-kind latency table from a trace file",
+    )
+    summary_parser.add_argument(
+        "tracefile", help="a --trace (Chrome JSON) or --spans (JSONL) file",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -89,14 +138,41 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
             out(f"{name.ljust(width)}  {description}")
         return 0
 
+    if args.command == "telemetry":
+        try:
+            spans = load_spans(args.tracefile)
+        except OSError as exc:
+            parser.error(f"cannot read trace file: {exc}")
+        out(span_summary_table(spans))
+        return 0
+
     overrides = _parse_overrides(args.set)
-    if args.experiment == "all":
-        if overrides:
-            raise SystemExit("--set is only valid with a single experiment")
-        for name in EXPERIMENTS:
-            _run_one(name, {}, out)
+    telemetry_wanted = bool(args.trace or args.spans or args.metrics_out)
+    collector = TelemetryCollector() if telemetry_wanted else None
+    # Fail on an unwritable export path up front, not after the run.
+    for export_path in (args.trace, args.spans, args.metrics_out):
+        if export_path:
+            try:
+                with open(export_path, "a", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                parser.error(f"cannot write telemetry output: {exc}")
+
+    def run_selected() -> None:
+        if args.experiment == "all":
+            if overrides:
+                raise SystemExit("--set is only valid with a single experiment")
+            for name in EXPERIMENTS:
+                _run_one(name, {}, out)
+        else:
+            _run_one(args.experiment, overrides, out)
+
+    if collector is not None:
+        with collector:
+            run_selected()
+        _export_telemetry(collector, args, out)
     else:
-        _run_one(args.experiment, overrides, out)
+        run_selected()
     return 0
 
 

@@ -21,6 +21,7 @@ from typing import Optional
 
 from ..cluster.node import Allocation, AllocationError, Node
 from ..sim.engine import Environment
+from ..telemetry import SpanKind, telemetry_of
 from .image import Image
 from .runtime import ContainerRuntime
 
@@ -79,6 +80,34 @@ class WarmPool:
         self.swap_ins = 0
         self.cold_starts = 0
         self.evictions = 0
+        # Telemetry: per-node counters and a resident-bytes gauge.
+        telemetry = telemetry_of(env)
+        self._tracer = telemetry.tracer
+        labels = {"node": node.name}
+        metrics = telemetry.metrics
+        self._m_hits = metrics.counter(
+            "repro_warmpool_hits_total", labels=labels,
+            help="acquisitions served by a resident warm container",
+        )
+        self._m_swapins = metrics.counter(
+            "repro_warmpool_swapins_total", labels=labels,
+            help="acquisitions restored from the parallel filesystem",
+        )
+        self._m_cold = metrics.counter(
+            "repro_warmpool_cold_starts_total", labels=labels,
+            help="acquisitions that paid a full cold start",
+        )
+        self._m_evictions = metrics.counter(
+            "repro_warmpool_evictions_total", labels=labels,
+            help="warm containers evicted for memory reclamation",
+        )
+        self._m_resident = metrics.gauge(
+            "repro_warmpool_resident_bytes", labels=labels,
+            help="memory held by parked warm containers",
+        )
+
+    def _record_resident(self) -> None:
+        self._m_resident.set(self.resident_bytes())
 
     # -- views -------------------------------------------------------------
     @property
@@ -102,6 +131,8 @@ class WarmPool:
             del self._warm[container.container_id]
             container.state = ContainerState.IN_USE
             self.hits += 1
+            self._m_hits.inc()
+            self._note_acquire(image, "warm")
             return AcquireResult(container, self.runtime.warm_attach_s, "warm")
 
         # 2. Swapped instance: pay swap-in (read image state back) + attach.
@@ -113,6 +144,8 @@ class WarmPool:
             container.alloc = alloc
             container.state = ContainerState.IN_USE
             self.swap_ins += 1
+            self._m_swapins.inc()
+            self._note_acquire(image, "swapped")
             cost = image.runtime_memory_bytes / self.swap_bandwidth + self.runtime.warm_attach_s
             return AcquireResult(container, cost, "swapped")
 
@@ -120,7 +153,16 @@ class WarmPool:
         alloc = self._allocate_memory(image)
         container = WarmContainer(image, self.node.name, alloc)
         self.cold_starts += 1
+        self._m_cold.inc()
+        self._note_acquire(image, "cold")
         return AcquireResult(container, self.runtime.cold_start_time(image), "cold")
+
+    def _note_acquire(self, image: Image, kind: str) -> None:
+        self._record_resident()
+        self._tracer.instant(
+            SpanKind.WARMPOOL_ACQUIRE, track=f"{self.node.name}/warmpool",
+            image=image.name, kind=kind,
+        )
 
     def _allocate_memory(self, image: Image) -> Allocation:
         """Claim container memory, evicting LRU warm containers if needed."""
@@ -143,6 +185,7 @@ class WarmPool:
         container.state = ContainerState.WARM
         container.last_used = self.env.now
         self._warm[container.container_id] = container
+        self._record_resident()
 
     def discard(self, container: WarmContainer) -> None:
         """Destroy an in-use container without keeping it warm."""
@@ -158,6 +201,12 @@ class WarmPool:
         self.node.release(container.alloc)
         container.alloc = None
         self.evictions += 1
+        self._m_evictions.inc()
+        self._record_resident()
+        self._tracer.instant(
+            "warmpool.evict", track=f"{self.node.name}/warmpool",
+            image=container.image.name, swap=swap,
+        )
         if swap:
             container.state = ContainerState.SWAPPED
             self._swapped[container.container_id] = container
@@ -190,6 +239,7 @@ class WarmPool:
             del self._warm[container.container_id]
             self.node.release(container.alloc)
             container.alloc = None
+        self._record_resident()
         return exported
 
     def import_container(self, container: WarmContainer) -> None:
@@ -201,3 +251,4 @@ class WarmPool:
         container.state = ContainerState.WARM
         container.last_used = self.env.now
         self._warm[container.container_id] = container
+        self._record_resident()

@@ -16,6 +16,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from ..local.runtime import LocalRuntime
 from ..local.serialization import payload_nbytes
+from ..telemetry import SpanKind, telemetry_of
 from .model import OffloadModel, OffloadPlan
 
 __all__ = ["DispatchReport", "OffloadDispatcher", "calibrate_model"]
@@ -40,9 +41,12 @@ class DispatchReport:
 class OffloadDispatcher:
     """Runs payload batches with model-guided local/remote splitting."""
 
-    def __init__(self, runtime: LocalRuntime, model: Optional[OffloadModel] = None):
+    def __init__(self, runtime: LocalRuntime, model: Optional[OffloadModel] = None,
+                 telemetry: Optional[Any] = None):
         self.runtime = runtime
         self.model = model
+        # Wall-clock telemetry scope (this runtime is live, not simulated).
+        self.telemetry = telemetry if telemetry is not None else telemetry_of(None)
 
     def run(
         self,
@@ -66,20 +70,31 @@ class OffloadDispatcher:
         else:
             plan = self.model.split(n, remote_workers=self.runtime.workers)
 
+        tracer = self.telemetry.tracer
         # Submit the tail chunks remotely first (never-wait principle).
+        # The remote span runs submit -> last gathered result, so its
+        # duration is Eq. 1's T_inv + L as experienced by this batch;
+        # the local span is the compute it must hide behind.
         remote_payloads = payloads[plan.n_local:]
+        remote_span = tracer.begin(
+            SpanKind.OFFLOAD_REMOTE, track="offload",
+            function=function, chunks=len(remote_payloads),
+        )
         futures = [
             self.runtime.invoke(function, payload, **kwargs)
             for payload in remote_payloads
         ]
         # Local chunks run inline.
-        t_local0 = time.perf_counter()
-        local_results = [local_fn(payload, **kwargs) for payload in payloads[: plan.n_local]]
-        local_time = time.perf_counter() - t_local0
+        with tracer.span(SpanKind.OFFLOAD_LOCAL, track="offload",
+                         function=function, chunks=plan.n_local):
+            t_local0 = time.perf_counter()
+            local_results = [local_fn(payload, **kwargs) for payload in payloads[: plan.n_local]]
+            local_time = time.perf_counter() - t_local0
         # Gather.
         t_gather0 = time.perf_counter()
         remote_results = [f.result() for f in futures]
         gather_wait = time.perf_counter() - t_gather0
+        tracer.finish(remote_span, gather_wait_s=gather_wait)
         wall = time.perf_counter() - t_start
         return DispatchReport(
             results=local_results + remote_results,

@@ -28,6 +28,7 @@ from ..containers.warmpool import WarmContainer, WarmPool
 from ..sim.engine import Environment, Interrupt, Process
 from ..sim.resources import Resource
 from ..storage.tiered import TieredFunctionStorage
+from ..telemetry import SpanKind, telemetry_of
 from .load import NodeLoadRegistry
 from .messages import InvocationRequest, InvocationResult, InvocationStatus, Timings
 from .registry import FunctionDef
@@ -108,6 +109,33 @@ class Executor:
         self.completed = 0
         self.rejected = 0
         self.terminated = 0
+        # Telemetry: one track per executor so traces render the
+        # invocation critical path as nested slices on its own lane.
+        telemetry = telemetry_of(env)
+        self._tracer = telemetry.tracer
+        self._track = f"{node.name}/executor-{self.executor_id}"
+        labels = {"node": node.name, "mode": mode}
+        metrics = telemetry.metrics
+        self._m_invocations = metrics.counter(
+            "repro_executor_invocations_total", labels=labels,
+            help="invocations served, by final status",
+        )
+        self._m_rejected = metrics.counter(
+            "repro_executor_rejected_total", labels=labels,
+            help="invocations rejected (draining or over the time limit)",
+        )
+        self._m_terminated = metrics.counter(
+            "repro_executor_terminated_total", labels=labels,
+            help="invocations aborted by executor reclamation",
+        )
+        self._m_dispatch = metrics.histogram(
+            "repro_executor_dispatch_seconds", labels=labels,
+            help="dispatch pickup delay (hot busy-poll vs warm wakeup)",
+        )
+        self._m_execution = metrics.histogram(
+            "repro_executor_execution_seconds", labels=labels,
+            help="function body execution time under interference dilation",
+        )
 
     # -- lifecycle ----------------------------------------------------------
     @property
@@ -156,6 +184,7 @@ class Executor:
     def _execute(self, fdef: FunctionDef, request: InvocationRequest):
         if self.draining:
             self.rejected += 1
+            self._m_rejected.inc()
             return InvocationResult(
                 request=request, status=InvocationStatus.REJECTED, node_name=self.node.name
             )
@@ -164,33 +193,45 @@ class Executor:
         timings = Timings()
         load_key = f"inv-{request.invocation_id}"
         registered = False
+        tracer = self._tracer
+        track = self._track
         try:
-            with self.slots.request() as slot:
+            with tracer.span(
+                SpanKind.INVOCATION, track=track, function=fdef.name,
+                invocation=request.invocation_id, mode=self.mode,
+            ) as inv_span, self.slots.request() as slot:
                 yield slot
                 # 1. Dispatch pickup (polling mode dependent).
-                timings.dispatch = self._dispatch_delay()
-                yield self.env.timeout(timings.dispatch)
+                with tracer.span(SpanKind.DISPATCH, track=track):
+                    timings.dispatch = self._dispatch_delay()
+                    yield self.env.timeout(timings.dispatch)
+                self._m_dispatch.observe(timings.dispatch)
                 # 2. Sandbox: an attached function process serves directly;
                 #    otherwise the warm pool decides cold/warm/swap-in.
-                container = self._attached.get(fdef.image.name)
-                if container is not None:
-                    kind = "attached"
-                else:
-                    acquired = self.warm_pool.acquire(fdef.image)
-                    container = acquired.container
-                    self._attached[fdef.image.name] = container
-                    kind = acquired.kind
-                    timings.startup = acquired.startup_cost_s
-                    if timings.startup > 0:
-                        yield self.env.timeout(timings.startup)
+                with tracer.span(SpanKind.SANDBOX, track=track) as sandbox_span:
+                    container = self._attached.get(fdef.image.name)
+                    if container is not None:
+                        kind = "attached"
+                    else:
+                        acquired = self.warm_pool.acquire(fdef.image)
+                        container = acquired.container
+                        self._attached[fdef.image.name] = container
+                        kind = acquired.kind
+                        timings.startup = acquired.startup_cost_s
+                        if timings.startup > 0:
+                            yield self.env.timeout(timings.startup)
+                    sandbox_span.set(kind=kind)
+                inv_span.set(sandbox=kind)
                 # 3. Stage inputs through the function storage tier
                 #    (mounted PFS / object cache, Sec. IV-D).
                 if fdef.input_read_bytes:
-                    concurrent = max(1, self.active_invocations)
-                    timings.io = self.storage.read_time(
-                        fdef.input_read_bytes, concurrent_readers=concurrent
-                    )
-                    yield self.env.timeout(timings.io)
+                    with tracer.span(SpanKind.IO, track=track,
+                                     bytes=fdef.input_read_bytes):
+                        concurrent = max(1, self.active_invocations)
+                        timings.io = self.storage.read_time(
+                            fdef.input_read_bytes, concurrent_readers=concurrent
+                        )
+                        yield self.env.timeout(timings.io)
                 # 4. Execute under the node's current interference,
                 #    skipping work already checkpointed elsewhere.
                 self.loads.add(self.node.name, load_key, fdef.demand)
@@ -204,14 +245,21 @@ class Executor:
                     # Admission-time enforcement of the time limit: the
                     # platform never starts work it would have to kill.
                     self.rejected += 1
+                    self._m_rejected.inc()
+                    inv_span.set(status="rejected")
                     return InvocationResult(
                         request=request,
                         status=InvocationStatus.REJECTED,
                         node_name=self.node.name,
                     )
-                if timings.execution > 0:
-                    yield self.env.timeout(timings.execution)
+                with tracer.span(SpanKind.EXECUTION, track=track,
+                                 slowdown=slowdown):
+                    if timings.execution > 0:
+                        yield self.env.timeout(timings.execution)
+                self._m_execution.observe(timings.execution)
                 self.completed += 1
+                self._m_invocations.inc()
+                inv_span.set(status="ok")
                 return InvocationResult(
                     request=request,
                     status=InvocationStatus.OK,
@@ -222,6 +270,7 @@ class Executor:
                 )
         except Interrupt as intr:
             self.terminated += 1
+            self._m_terminated.inc()
             checkpoint = request.resume_offset_s
             if fdef.checkpointable and registered:
                 # Progress in nominal-runtime seconds, rounded down to the

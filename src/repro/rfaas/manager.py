@@ -32,6 +32,7 @@ from ..containers.warmpool import ContainerState, WarmPool
 from ..network.drc import Credential, DrcManager
 from ..sim.engine import Environment
 from ..sim.trace import EventLog
+from ..telemetry import telemetry_of
 from .executor import Executor, ExecutorMode
 from .lease import Lease, LeaseState
 from .load import NodeLoadRegistry
@@ -91,6 +92,29 @@ class ResourceManager:
         self.log = log if log is not None else EventLog()
         self._nodes: dict[str, RegisteredNode] = {}
         self._lease_owner: dict[int, str] = {}   # lease_id -> node_name
+        # Telemetry: pool-level occupancy gauges and lease counters.
+        telemetry = telemetry_of(env)
+        self._tracer = telemetry.tracer
+        metrics = telemetry.metrics
+        self._m_leases = metrics.counter(
+            "repro_manager_leases_total", help="leases granted",
+        )
+        self._m_denied = metrics.counter(
+            "repro_manager_lease_denied_total",
+            help="lease requests denied for lack of capacity",
+        )
+        self._m_nodes = metrics.gauge(
+            "repro_manager_registered_nodes_count",
+            help="nodes currently registered as spare capacity",
+        )
+        self._m_free_cores = metrics.gauge(
+            "repro_manager_free_cores_count",
+            help="registered executor cores not held by a lease",
+        )
+
+    def _record_pool(self) -> None:
+        self._m_nodes.set(len(self._nodes))
+        self._m_free_cores.set(self.total_free_cores())
 
     # -- REST-ish integration API ------------------------------------------------
     def register_node(
@@ -125,6 +149,11 @@ class ResourceManager:
         self._nodes[node_name] = registered
         self.log.emit(self.env.now, "register_node", node=node_name, cores=cores,
                       memory=memory_bytes, gpus=gpus)
+        self._record_pool()
+        self._tracer.instant(
+            "manager.register_node", track="manager",
+            node=node_name, cores=cores, memory=memory_bytes, gpus=gpus,
+        )
         return registered
 
     def migrate_warm_containers(self, src_node: str, dst_node: str,
@@ -179,6 +208,11 @@ class ResourceManager:
         registered.warm_pool.drain()
         del self._nodes[node_name]
         self.log.emit(self.env.now, "remove_node", node=node_name, immediate=immediate)
+        self._record_pool()
+        self._tracer.instant(
+            "manager.remove_node", track="manager",
+            node=node_name, immediate=immediate,
+        )
 
     def registered_nodes(self) -> list[str]:
         return sorted(self._nodes)
@@ -205,6 +239,7 @@ class ResourceManager:
             if name not in exclude and r.fits(cores, memory_bytes, gpus)
         ]
         if not candidates:
+            self._m_denied.inc()
             raise NoCapacityError(
                 f"no registered node fits {cores} cores / {memory_bytes} B / {gpus} GPUs"
             )
@@ -237,6 +272,13 @@ class ResourceManager:
         self.drc.grant(chosen.credential.cred_id, chosen.credential.owner, client)
         self.log.emit(self.env.now, "lease", lease_id=lease.lease_id, client=client,
                       node=chosen.node_name, cores=cores)
+        self._m_leases.inc()
+        self._record_pool()
+        self._tracer.instant(
+            "manager.lease", track="manager",
+            lease_id=lease.lease_id, client=client, node=chosen.node_name,
+            cores=cores,
+        )
         return lease, chosen.executor
 
     def release_lease(self, lease: Lease) -> None:
@@ -259,6 +301,11 @@ class ResourceManager:
         registered.memory_free += lease.memory_bytes
         registered.gpus_free += lease.gpus
         self._lease_owner.pop(lease.lease_id, None)
+        self._record_pool()
+        self._tracer.instant(
+            "manager.release_lease", track="manager",
+            lease_id=lease.lease_id, node=registered.node_name,
+        )
 
     def credential_for(self, node_name: str) -> Credential:
         return self._nodes[node_name].credential

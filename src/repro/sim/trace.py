@@ -62,10 +62,14 @@ class TimeSeries:
         if interval <= 0:
             raise ValueError("interval must be positive")
         out = TimeSeries(name=f"{self.name}@{interval}")
-        t = start
-        while t <= stop + 1e-12:
+        # Grid points are computed as start + i*interval rather than by a
+        # `t += interval` loop: accumulated float error over long windows
+        # (e.g. days of 2-minute polls) would otherwise push the last grid
+        # point past `stop` and silently drop the final sample.
+        n_points = int((stop - start) / interval * (1 + 1e-12) + 1e-9) + 1
+        for i in range(max(n_points, 0)):
+            t = start + i * interval
             out.record(t, self.value_at(t))
-            t += interval
         return out
 
     def time_weighted_mean(self, start: Optional[float] = None, stop: Optional[float] = None) -> float:

@@ -24,6 +24,7 @@ from ..cluster.machine import Cluster
 from ..cluster.node import Allocation, Node
 from ..sim.engine import Environment, Interrupt, Process
 from ..sim.trace import EventLog
+from ..telemetry import SpanKind, telemetry_of
 from .job import Job, JobSpec, JobState
 from .partition import Partition
 
@@ -69,6 +70,32 @@ class BatchScheduler:
         # can be evicted. Receives the node names being claimed.
         self.reclaim_hook: Optional[Callable[[list[str]], None]] = None
 
+        # Telemetry: queue-wait distribution, occupancy gauges, job spans.
+        telemetry = telemetry_of(env)
+        self._tracer = telemetry.tracer
+        metrics = telemetry.metrics
+        self._m_submitted = metrics.counter(
+            "repro_scheduler_submitted_total", help="jobs submitted",
+        )
+        self._m_queue_wait = metrics.histogram(
+            "repro_scheduler_queue_wait_seconds",
+            help="submit-to-start wait of started jobs",
+        )
+        self._m_free_nodes = metrics.gauge(
+            "repro_scheduler_free_nodes_count",
+            help="nodes with no batch owner (Fig. 1a idle sense)",
+        )
+        self._m_queue_depth = metrics.gauge(
+            "repro_scheduler_queue_depth_count",
+            help="jobs waiting in the FIFO queue",
+        )
+        self._job_spans: dict[int, object] = {}
+        self._record_occupancy()
+
+    def _record_occupancy(self) -> None:
+        self._m_free_nodes.set(self.idle_node_count())
+        self._m_queue_depth.set(len(self.queue))
+
     # -- public API ----------------------------------------------------------
     def submit(self, spec: JobSpec, submit_time: Optional[float] = None) -> Job:
         """Queue a job; scheduling is attempted immediately."""
@@ -83,6 +110,12 @@ class BatchScheduler:
         job = Job(spec, submit_time=self.env.now if submit_time is None else submit_time)
         self.queue.append(job)
         self.log.emit(self.env.now, "submit", job_id=job.job_id, app=spec.app, nodes=spec.nodes)
+        self._m_submitted.inc()
+        self._tracer.instant(
+            "slurm.submit", track="scheduler",
+            job_id=job.job_id, app=spec.app, nodes=spec.nodes,
+        )
+        self._record_occupancy()
         self._schedule_pass()
         return job
 
@@ -91,6 +124,7 @@ class BatchScheduler:
             self.queue.remove(job)
             job.state = JobState.CANCELLED
             self.log.emit(self.env.now, "cancel", job_id=job.job_id)
+            self._record_occupancy()
         elif job.state == JobState.RUNNING:
             self._job_procs[job.job_id].interrupt(cause="cancel")
         else:
@@ -247,6 +281,13 @@ class BatchScheduler:
             job_id=job.job_id, app=job.spec.app, nodes=job.spec.nodes,
             wait=job.wait_time,
         )
+        self._m_queue_wait.observe(job.wait_time)
+        self._record_occupancy()
+        self._job_spans[job.job_id] = self._tracer.begin(
+            SpanKind.JOB, track="scheduler/jobs",
+            job_id=job.job_id, app=job.spec.app, nodes=job.spec.nodes,
+            wait_s=job.wait_time,
+        )
         for hook in self.on_job_start:
             hook(job)
 
@@ -291,6 +332,10 @@ class BatchScheduler:
         del self._job_procs[job.job_id]
         self.completed.append(job)
         self.log.emit(self.env.now, "end", job_id=job.job_id, app=job.spec.app, state=job.state.value)
+        span = self._job_spans.pop(job.job_id, None)
+        if span is not None:
+            self._tracer.finish(span, state=job.state.value)
+        self._record_occupancy()
         for hook in self.on_job_end:
             hook(job)
         self._schedule_pass()

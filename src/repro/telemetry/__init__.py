@@ -1,0 +1,71 @@
+"""Unified telemetry: sim-time tracing spans, metrics, and exporters.
+
+The observability layer for the whole reproduction.  Subsystems obtain
+their handle with ``telemetry_of(env)`` (a no-op implementation when
+telemetry is disabled — the default), the CLI activates a
+:class:`TelemetryCollector` around experiment runs, and exporters turn
+the result into JSONL spans, Chrome ``trace_event`` JSON (Perfetto),
+or Prometheus text.  See ``docs/observability.md`` for the span
+taxonomy and metric naming convention.
+"""
+
+from .exporters import (
+    chrome_trace_events,
+    load_spans,
+    prometheus_text,
+    write_chrome_trace,
+    write_prometheus_text,
+    write_spans_jsonl,
+)
+from .metrics import (
+    METRIC_NAME_RE,
+    METRIC_UNITS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+    validate_metric_name,
+)
+from .provider import (
+    NULL_TELEMETRY,
+    Telemetry,
+    TelemetryCollector,
+    install,
+    telemetry_of,
+)
+from .span import Span, SpanKind
+from .summary import span_kind_stats, span_summary_table, utilization_summary
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Span",
+    "SpanKind",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "METRIC_NAME_RE",
+    "METRIC_UNITS",
+    "validate_metric_name",
+    "Telemetry",
+    "TelemetryCollector",
+    "NULL_TELEMETRY",
+    "telemetry_of",
+    "install",
+    "write_spans_jsonl",
+    "load_spans",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus_text",
+    "span_kind_stats",
+    "span_summary_table",
+    "utilization_summary",
+]

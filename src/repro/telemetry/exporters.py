@@ -1,0 +1,204 @@
+"""Exporters: JSONL spans, Chrome ``trace_event`` JSON, Prometheus text.
+
+* **JSONL** — one span object per line; lossless, trivially greppable,
+  and the input format of ``repro telemetry summary``;
+* **Chrome trace_event** — loadable in Perfetto / ``about://tracing``;
+  each span track (node/executor) becomes one named thread so the
+  invocation critical path reads as nested slices;
+* **Prometheus text exposition** — counters, gauges (with a
+  time-weighted-mean sample), and cumulative histogram buckets.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, List, Sequence, TextIO, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .span import Span
+
+__all__ = [
+    "write_spans_jsonl",
+    "load_spans",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus_text",
+]
+
+
+# -- JSONL span dump ----------------------------------------------------------
+
+def write_spans_jsonl(spans: Iterable[Span], path: str) -> int:
+    """One JSON object per line; returns the number of spans written."""
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def _spans_from_chrome(payload: Union[dict, list]) -> List[Span]:
+    events = payload["traceEvents"] if isinstance(payload, dict) else payload
+    spans: List[Span] = []
+    for event in events:
+        if event.get("ph") not in ("X", "i"):
+            continue
+        args = dict(event.get("args", {}))
+        track = args.pop("track", f"{event.get('pid', 0)}/{event.get('tid', 0)}")
+        start = event["ts"] / 1e6
+        span = Span(event.get("name", "?"), start, track=track,
+                    parent_id=args.pop("parent_id", None), attrs=args)
+        span.end = start + event.get("dur", 0) / 1e6
+        spans.append(span)
+    return spans
+
+
+def load_spans(path: str) -> List[Span]:
+    """Read spans back from a JSONL dump *or* a Chrome trace JSON."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if stripped.startswith(("[", "{")):
+        try:
+            return _spans_from_chrome(json.loads(text))
+        except (json.JSONDecodeError, KeyError, TypeError):
+            pass  # fall through: maybe a one-line JSONL file
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# -- Chrome trace_event -------------------------------------------------------
+
+def _track_ids(spans: Sequence[Span]) -> dict[str, tuple[int, int]]:
+    """Map each track "node/detail" to stable (pid, tid) integers."""
+    processes: dict[str, int] = {}
+    tracks: dict[str, tuple[int, int]] = {}
+    tids: dict[str, int] = {}
+    for span in spans:
+        if span.track in tracks:
+            continue
+        proc = span.track.split("/", 1)[0]
+        pid = processes.setdefault(proc, len(processes) + 1)
+        tid = tids.setdefault(span.track, len(tids) + 1)
+        tracks[span.track] = (pid, tid)
+    return tracks
+
+
+def chrome_trace_events(spans: Sequence[Span]) -> List[dict]:
+    """Spans -> ``trace_event`` dicts (``X`` slices, ``i`` instants)."""
+    closed = [s for s in spans if s.end is not None]
+    if not closed:
+        return []
+    t0 = min(s.start for s in closed)
+    tracks = _track_ids(closed)
+    events: List[dict] = []
+    for track, (pid, tid) in sorted(tracks.items(), key=lambda kv: kv[1]):
+        proc = track.split("/", 1)[0]
+        events.append({"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                       "args": {"name": proc}})
+        events.append({"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                       "args": {"name": track}})
+    for span in closed:
+        pid, tid = tracks[span.track]
+        args = {"track": span.track, "span_id": span.span_id, **span.attrs}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        event = {
+            "name": span.name,
+            "ph": "i" if span.is_instant else "X",
+            "ts": (span.start - t0) * 1e6,     # trace_event wants microseconds
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        }
+        if span.is_instant:
+            event["s"] = "t"                    # thread-scoped instant
+        else:
+            event["dur"] = (span.end - span.start) * 1e6
+        events.append(event)
+    return events
+
+
+def write_chrome_trace(spans: Sequence[Span], path: str) -> int:
+    events = chrome_trace_events(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return len(events)
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels(metric, extra: dict | None = None) -> str:
+    pairs = list(metric.labels)
+    if extra:
+        pairs.extend((k, str(v)) for k, v in extra.items())
+    if not pairs:
+        return ""
+    return "{%s}" % ",".join(f'{k}="{v}"' for k, v in sorted(pairs))
+
+
+def prometheus_text(registries: Union[MetricsRegistry, Iterable[MetricsRegistry]]) -> str:
+    """Render one or more registries in Prometheus exposition format.
+
+    Registries keep their ``scope`` as a label so metrics from several
+    simulated environments in one run stay distinguishable.
+    """
+    if isinstance(registries, MetricsRegistry):
+        registries = [registries]
+    lines: List[str] = []
+    seen_headers: set[str] = set()
+    for registry in registries:
+        scope = {"scope": registry.scope} if getattr(registry, "scope", "") else None
+        for metric in registry:
+            if metric.name not in seen_headers:
+                seen_headers.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Counter):
+                lines.append(f"{metric.name}{_labels(metric, scope)} {_fmt(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"{metric.name}{_labels(metric, scope)} {_fmt(metric.value)}")
+                mean_labels = dict(scope or {})
+                mean_labels["stat"] = "time_weighted_mean"
+                lines.append(
+                    f"{metric.name}{_labels(metric, mean_labels)} "
+                    f"{_fmt(metric.time_weighted_mean())}"
+                )
+            elif isinstance(metric, Histogram):
+                for bound, cumulative in metric.cumulative_buckets():
+                    bucket_labels = dict(scope or {})
+                    bucket_labels["le"] = _fmt(bound)
+                    lines.append(
+                        f"{metric.name}_bucket{_labels(metric, bucket_labels)} {cumulative}"
+                    )
+                lines.append(f"{metric.name}_sum{_labels(metric, scope)} {_fmt(metric.sum)}")
+                lines.append(f"{metric.name}_count{_labels(metric, scope)} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus_text(
+    registries: Union[MetricsRegistry, Iterable[MetricsRegistry]],
+    path_or_file: Union[str, TextIO],
+) -> None:
+    text = prometheus_text(registries)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        path_or_file.write(text)

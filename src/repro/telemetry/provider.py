@@ -1,0 +1,149 @@
+"""Wiring telemetry to environments with zero overhead by default.
+
+Subsystems never construct tracers; they ask ``telemetry_of(env)`` once
+at init.  Resolution order:
+
+1. a :class:`Telemetry` explicitly installed on that environment
+   (``Telemetry.install(env)`` / ``install(env, tel)``);
+2. the innermost *active* :class:`TelemetryCollector` — the CLI
+   activates one around an experiment run, so every environment the
+   experiment constructs internally gets traced without the experiment
+   knowing (each environment receives its own clock-bound scope,
+   because simulated clocks restart at zero per environment while the
+   span sink is shared);
+3. otherwise the process-wide null telemetry: no-op tracer, no-op
+   metrics, no allocation per call.
+
+Nothing here schedules events or consumes random numbers, so enabling
+telemetry cannot perturb a seeded simulation — ``tests/telemetry``
+asserts traced and untraced runs produce identical event timelines.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, List, Optional
+
+from .metrics import MetricsRegistry, NULL_REGISTRY
+from .span import Span
+from .tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "Telemetry",
+    "TelemetryCollector",
+    "NULL_TELEMETRY",
+    "telemetry_of",
+    "install",
+]
+
+
+class Telemetry:
+    """A tracer + metrics registry bound to one clock."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        env: Any = None,
+        clock: Optional[Callable[[], float]] = None,
+        sink: Optional[List[Span]] = None,
+        scope: str = "",
+    ):
+        if clock is None:
+            clock = (lambda: env.now) if env is not None else time.perf_counter
+        key_fn: Callable[[], Any]
+        if env is not None:
+            # Per-process span stacks: generator processes interleave.
+            key_fn = lambda: env.active_process
+        else:
+            key_fn = lambda: None
+        self.clock = clock
+        self.scope = scope
+        self.tracer = Tracer(clock, sink=sink, key_fn=key_fn)
+        self.metrics = MetricsRegistry(clock, scope=scope)
+
+    @property
+    def spans(self) -> List[Span]:
+        return self.tracer.spans
+
+    def install(self, env: Any) -> "Telemetry":
+        install(env, self)
+        return self
+
+
+class _NullTelemetry:
+    enabled = False
+    tracer = NULL_TRACER
+    metrics = NULL_REGISTRY
+    spans: tuple = ()
+    scope = ""
+
+
+NULL_TELEMETRY = _NullTelemetry()
+
+#: Stack of active collectors (innermost last).
+_ACTIVE: list["TelemetryCollector"] = []
+
+
+class TelemetryCollector:
+    """Aggregates telemetry from every environment built while active.
+
+    One experiment run may construct several :class:`Environment`
+    instances (fig07 builds three).  Spans from all of them land in one
+    shared list; each environment gets its own metrics registry scope
+    (``sim0``, ``sim1``, ... plus ``wall`` for live wall-clock code)
+    because simulated clocks restart at zero and time-weighted gauges
+    must stay monotone per clock.
+    """
+
+    def __init__(self):
+        self.spans: List[Span] = []
+        self.scopes: List[Telemetry] = []
+        self._wall: Optional[Telemetry] = None
+
+    # -- scope management -------------------------------------------------------
+    def scope_for(self, env: Any) -> Telemetry:
+        telemetry = Telemetry(env=env, sink=self.spans, scope=f"sim{len(self.scopes)}")
+        self.scopes.append(telemetry)
+        return telemetry
+
+    def wall_scope(self) -> Telemetry:
+        if self._wall is None:
+            self._wall = Telemetry(env=None, sink=self.spans, scope="wall")
+            self.scopes.append(self._wall)
+        return self._wall
+
+    def registries(self) -> List[MetricsRegistry]:
+        return [t.metrics for t in self.scopes]
+
+    # -- activation --------------------------------------------------------------
+    def __enter__(self) -> "TelemetryCollector":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        _ACTIVE.remove(self)
+        return False
+
+    activate = __enter__  # readable alias for non-with usage
+
+
+def telemetry_of(env: Any) -> Any:
+    """The telemetry handle for ``env`` (or wall-clock code when None)."""
+    if env is not None:
+        installed = getattr(env, "_telemetry", None)
+        if installed is not None:
+            return installed
+    if _ACTIVE:
+        collector = _ACTIVE[-1]
+        if env is None:
+            return collector.wall_scope()
+        telemetry = collector.scope_for(env)
+        env._telemetry = telemetry
+        return telemetry
+    return NULL_TELEMETRY
+
+
+def install(env: Any, telemetry: Telemetry) -> None:
+    """Pin ``telemetry`` to ``env`` regardless of active collectors."""
+    env._telemetry = telemetry

@@ -1,0 +1,96 @@
+"""Span records: named, attributed intervals of (simulated or wall) time.
+
+A :class:`Span` is the unit of tracing.  Spans nest through
+``parent_id`` links and are grouped onto *tracks* — one per node or
+executor — which the Chrome ``trace_event`` exporter maps to
+process/thread lanes so an invocation's critical path reads left to
+right in Perfetto exactly like Fig. 7's latency decomposition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+__all__ = ["Span", "SpanKind"]
+
+_span_ids = itertools.count(1)
+
+
+class SpanKind:
+    """Well-known span names (the taxonomy in docs/observability.md)."""
+
+    INVOCATION = "rfaas.invocation"
+    DISPATCH = "rfaas.dispatch"
+    SANDBOX = "rfaas.sandbox"
+    IO = "rfaas.io"
+    EXECUTION = "rfaas.execution"
+    LEASE = "rfaas.lease"
+    WARMPOOL_ACQUIRE = "warmpool.acquire"
+    JOB = "slurm.job"
+    OFFLOAD_LOCAL = "offload.local"
+    OFFLOAD_REMOTE = "offload.remote"
+
+
+class Span:
+    """One traced interval.  ``end is None`` while the span is open."""
+
+    __slots__ = ("span_id", "parent_id", "name", "track", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        track: str = "main",
+        parent_id: Optional[int] = None,
+        attrs: Optional[dict] = None,
+    ):
+        self.span_id = next(_span_ids)
+        self.parent_id = parent_id
+        self.name = name
+        self.track = track
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} still open")
+        return self.end - self.start
+
+    @property
+    def is_instant(self) -> bool:
+        return self.end == self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes after creation (e.g. the sandbox kind)."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "track": self.track,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(
+            data["name"],
+            data["start"],
+            track=data.get("track", "main"),
+            parent_id=data.get("parent_id"),
+            attrs=data.get("attrs"),
+        )
+        span.end = data.get("end")
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        end = f"{self.end:.6f}" if self.end is not None else "open"
+        return f"<Span {self.name} [{self.start:.6f}..{end}] track={self.track}>"

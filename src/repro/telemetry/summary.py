@@ -1,0 +1,78 @@
+"""Post-hoc summaries over exported telemetry.
+
+``repro telemetry summary trace.json`` prints the per-span-kind latency
+table produced here: for every span name, the count and the
+mean/p50/p95/max duration — the decomposition the paper's Fig. 7
+discussion walks through (dispatch pickup vs. sandbox acquisition vs.
+execution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..analysis.tables import render_table
+from .span import Span
+
+__all__ = ["span_kind_stats", "span_summary_table", "utilization_summary"]
+
+
+def span_kind_stats(spans: Iterable[Span]) -> Dict[str, dict]:
+    """Per span-name duration statistics (instants contribute count only)."""
+    groups: Dict[str, List[Span]] = {}
+    for span in spans:
+        if span.end is None:
+            continue
+        groups.setdefault(span.name, []).append(span)
+    stats: Dict[str, dict] = {}
+    for name, members in sorted(groups.items()):
+        durations = [s.duration for s in members if not s.is_instant]
+        entry: dict = {"count": len(members), "instants": len(members) - len(durations)}
+        if durations:
+            arr = np.asarray(durations)
+            entry.update(
+                mean_s=float(arr.mean()),
+                p50_s=float(np.median(arr)),
+                p95_s=float(np.percentile(arr, 95)),
+                max_s=float(arr.max()),
+            )
+        stats[name] = entry
+    return stats
+
+
+def span_summary_table(spans: Sequence[Span]) -> str:
+    """The ``repro telemetry summary`` latency table."""
+    stats = span_kind_stats(spans)
+    if not stats:
+        return "no spans recorded"
+    rows = []
+    for name, entry in stats.items():
+        if "mean_s" in entry:
+            rows.append([
+                name, entry["count"],
+                entry["mean_s"] * 1e6, entry["p50_s"] * 1e6,
+                entry["p95_s"] * 1e6, entry["max_s"] * 1e6,
+            ])
+        else:
+            rows.append([name, entry["count"], "-", "-", "-", "-"])
+    return render_table(
+        ["span", "count", "mean (us)", "p50 (us)", "p95 (us)", "max (us)"],
+        rows,
+        title=f"Telemetry summary — {sum(e['count'] for e in stats.values())} spans",
+    )
+
+
+def utilization_summary(scenarios: Iterable) -> str:
+    """Render ScenarioUtilization objects via their ``__str__`` lines.
+
+    Accepts an iterable or the dict ``disagg.colocation_scenarios``
+    returns; used by the metrics summary alongside the span table.
+    """
+    if isinstance(scenarios, dict):
+        scenarios = scenarios.values()
+    lines = [str(s) for s in scenarios]
+    if not lines:
+        return "no scenarios"
+    return "\n".join(lines)

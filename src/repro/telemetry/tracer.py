@@ -1,0 +1,166 @@
+"""Tracers: record spans against a clock without perturbing it.
+
+Two implementations share one interface:
+
+* :class:`Tracer` — records :class:`~repro.telemetry.span.Span` objects
+  into a sink list, stamping them from a caller-supplied ``clock``
+  (``env.now`` for simulations, ``time.perf_counter`` for the live
+  offload runtime);
+* :class:`NullTracer` — the zero-overhead default: every operation is a
+  no-op on shared singletons, so instrumented code costs one attribute
+  access and an empty context manager when telemetry is disabled.
+
+Simulation processes interleave: two :class:`~repro.sim.engine.Process`
+generators can each be inside a ``with tracer.span(...)`` block at the
+same simulated instant.  A single global span stack would cross their
+parent links, so the tracer keeps **one stack per key**, where the key
+defaults to the environment's ``active_process`` — each process sees its
+own nesting, and code running outside any process gets the ``None``
+stack.  No events are scheduled and no RNG is consumed, which is what
+preserves the seeded-determinism guarantee.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional
+
+from .span import Span
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Tracer:
+    """Records spans stamped from ``clock`` into ``sink``."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        sink: Optional[List[Span]] = None,
+        key_fn: Optional[Callable[[], Any]] = None,
+    ):
+        self.clock = clock
+        self.spans: List[Span] = sink if sink is not None else []
+        self._key_fn = key_fn if key_fn is not None else (lambda: None)
+        self._stacks: dict[Any, list[Span]] = {}
+
+    # -- implicit-parent context-manager API ---------------------------------
+    def current(self) -> Optional[Span]:
+        """The innermost open span of the calling process, if any."""
+        stack = self._stacks.get(self._key_fn())
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, track: str = "main", **attrs: Any) -> Iterator[Span]:
+        """Open a child of the calling process's current span."""
+        parent = self.current()
+        record = Span(
+            name,
+            self.clock(),
+            track=track,
+            parent_id=parent.span_id if parent else None,
+            attrs=attrs,
+        )
+        key = self._key_fn()
+        stack = self._stacks.setdefault(key, [])
+        stack.append(record)
+        try:
+            yield record
+        except BaseException as exc:
+            record.attrs.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            record.end = self.clock()
+            self.spans.append(record)
+            # The process may have been re-keyed between enter and exit
+            # (it cannot be for engine processes, but stay defensive).
+            stack = self._stacks.get(key, [])
+            if record in stack:
+                stack.remove(record)
+            if not stack:
+                self._stacks.pop(key, None)
+
+    def instant(self, name: str, track: str = "main", **attrs: Any) -> Span:
+        """A zero-duration marker (e.g. a lease grant or an eviction)."""
+        now = self.clock()
+        parent = self.current()
+        record = Span(
+            name, now, track=track,
+            parent_id=parent.span_id if parent else None, attrs=attrs,
+        )
+        record.end = now
+        self.spans.append(record)
+        return record
+
+    # -- explicit-lifetime API ------------------------------------------------
+    def begin(self, name: str, track: str = "main", **attrs: Any) -> Span:
+        """Open a span whose end is not lexically scoped (e.g. a batch job).
+
+        The span is recorded only when :meth:`finish` closes it, so an
+        abandoned span never corrupts an export.
+        """
+        return Span(name, self.clock(), track=track, attrs=attrs)
+
+    def finish(self, span: Span, **attrs: Any) -> Span:
+        if span.end is not None:
+            raise ValueError(f"span {span.name!r} already finished")
+        span.end = self.clock()
+        span.attrs.update(attrs)
+        self.spans.append(span)
+        return span
+
+
+class _NullSpan(Span):
+    """Shared inert span returned by the null tracer."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__("null", 0.0)
+        self.end = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer:
+    """Drops everything; all methods return shared singletons."""
+
+    enabled = False
+    spans: tuple = ()
+
+    def current(self) -> Optional[Span]:
+        return None
+
+    def span(self, name: str, track: str = "main", **attrs: Any) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def instant(self, name: str, track: str = "main", **attrs: Any) -> Span:
+        return _NULL_SPAN
+
+    def begin(self, name: str, track: str = "main", **attrs: Any) -> Span:
+        return _NULL_SPAN
+
+    def finish(self, span: Span, **attrs: Any) -> Span:
+        return _NULL_SPAN
+
+
+NULL_TRACER = NullTracer()

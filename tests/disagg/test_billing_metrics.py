@@ -103,3 +103,25 @@ def test_scenario_validation():
         colocation_scenarios(36, 1, 32, 100, 10)  # 32+10 > 36
     with pytest.raises(ValueError):
         colocation_scenarios(36, 1, 32, 100, 4, function_busy_fraction=2.0)
+
+
+def test_scenario_utilization_str_is_human_readable():
+    s = ScenarioUtilization("colocated", used_core_time=50.0, allocated_core_time=100.0)
+    text = str(s)
+    assert text == "colocated: 50.0% utilization (used 50.0 / allocated 100.0 core-s)"
+
+
+def test_colocated_scenario_counts_both_workloads_core_time():
+    """Regression: the colocated scenario dropped fn_used from its
+    used_core_time (a tuple artifact), understating utilization."""
+    scenarios = colocation_scenarios(
+        node_cores=36, batch_nodes=2, batch_cores_per_node=32,
+        batch_runtime_s=100.0, function_cores_per_node=4,
+        batch_slowdown=1.0,
+    )
+    coloc = scenarios["colocated"]
+    batch_used = 2 * 32 * 100.0
+    fn_used = 2 * 4 * 100.0
+    assert coloc.used_core_time == pytest.approx(batch_used + fn_used)
+    # With all leftover cores serving functions, colocated utilization is 100%.
+    assert coloc.utilization == pytest.approx(1.0)

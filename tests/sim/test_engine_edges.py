@@ -157,3 +157,66 @@ def test_environment_initial_time():
     env.process(proc())
     env.run()
     assert fired == [105.0]
+
+
+def test_interrupt_detaches_from_allof_target():
+    """Interrupting a process waiting on AllOf must remove its resume
+    callback from the condition, so the later trigger cannot resume a
+    generator that already moved on (or finished)."""
+    from repro.sim import AllOf
+
+    env = Environment()
+    condition = {}
+    caught = []
+
+    def waiter():
+        condition["event"] = AllOf(env, [env.timeout(10), env.timeout(20)])
+        try:
+            yield condition["event"]
+        except Interrupt as interrupt:
+            caught.append((env.now, interrupt.cause))
+
+    p = env.process(waiter())
+
+    def interrupter():
+        yield env.timeout(5)
+        p.interrupt("stop")
+        # The waiter is no longer wired to the condition...
+        assert p._resume not in condition["event"].callbacks
+        # ...but the condition itself still completes on its own.
+
+    env.process(interrupter())
+    env.run()
+    assert caught == [(5, "stop")]
+    assert condition["event"].triggered
+    assert env.now == 20
+
+
+def test_interrupt_detaches_from_anyof_target():
+    env = Environment()
+    condition = {}
+    resumptions = []
+
+    def waiter():
+        condition["event"] = AnyOf(env, [env.event(), env.timeout(30)])
+        try:
+            yield condition["event"]
+            resumptions.append(("completed", env.now))
+        except Interrupt:
+            resumptions.append(("interrupted", env.now))
+            # Keep living past the interrupt; if the AnyOf callback were
+            # still attached, its trigger at t=30 would resume this yield
+            # a second time with the condition's value.
+        yield env.timeout(100)
+        resumptions.append(("slept", env.now))
+
+    p = env.process(waiter())
+
+    def interrupter():
+        yield env.timeout(1)
+        p.interrupt()
+        assert p._resume not in condition["event"].callbacks
+
+    env.process(interrupter())
+    env.run()
+    assert resumptions == [("interrupted", 1), ("slept", 101)]

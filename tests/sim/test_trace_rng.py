@@ -110,3 +110,46 @@ def test_rng_stream_is_cached():
     first = RngRegistry(seed=1).stream("x").random(5)
     again = reg.stream("x").random(5)
     np.testing.assert_array_equal(first, again)
+
+
+def test_timeseries_sample_no_float_drift_on_long_windows():
+    """Regression: `t += interval` accumulated error and could drop the
+    final grid point; grid points are now computed as start + i*interval."""
+    ts = TimeSeries()
+    ts.record(0, 1.0)
+    # 2-minute polling over a week, the Fig. 1 regime.
+    week = 7 * 24 * 3600.0
+    sampled = ts.sample(0.0, week, 120.0)
+    assert len(sampled) == int(week / 120.0) + 1
+    assert sampled.times[-1] == week
+
+    # The classic failure case: an interval with no exact binary
+    # representation over many steps.
+    ts2 = TimeSeries()
+    ts2.record(0, 2.0)
+    sampled2 = ts2.sample(0.0, 1200.0, 0.1)
+    assert len(sampled2) == 12001
+    assert sampled2.times[-1] == 1200.0
+
+
+def test_timeseries_sample_nonzero_start_grid():
+    ts = TimeSeries()
+    ts.record(0, 5.0)
+    sampled = ts.sample(10.0, 20.0, 2.5)
+    assert list(sampled.times) == [10.0, 12.5, 15.0, 17.5, 20.0]
+    assert all(v == 5.0 for v in sampled.values)
+
+
+def test_eventlog_between_boundaries_are_inclusive():
+    log = EventLog()
+    log.emit(1.0, "a")
+    log.emit(2.0, "b")
+    log.emit(3.0, "c")
+    # Both endpoints are included.
+    assert [r.kind for r in log.between(1.0, 3.0)] == ["a", "b", "c"]
+    assert [r.kind for r in log.between(2.0, 2.0)] == ["b"]
+    # Strictly outside stays out.
+    assert [r.kind for r in log.between(1.0 + 1e-12, 3.0 - 1e-12)] == ["b"]
+    assert log.between(3.5, 9.0) == []
+    # Inverted window is empty, not an error.
+    assert log.between(3.0, 1.0) == []

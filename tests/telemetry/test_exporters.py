@@ -1,0 +1,107 @@
+"""Exporter tests: JSONL round-trip, Chrome trace_event, Prometheus text."""
+
+import json
+
+from repro.telemetry import (
+    MetricsRegistry,
+    Span,
+    Tracer,
+    chrome_trace_events,
+    load_spans,
+    prometheus_text,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+
+
+def sample_spans():
+    ticks = iter([float(t) for t in range(10)])
+    tracer = Tracer(clock=lambda: next(ticks))
+    with tracer.span("outer", track="n1/exec", function="f"):
+        with tracer.span("inner", track="n1/exec"):
+            pass
+    tracer.instant("evt", track="n2/pool", kind="cold")
+    return tracer.spans
+
+
+def test_jsonl_round_trip(tmp_path):
+    spans = sample_spans()
+    path = str(tmp_path / "spans.jsonl")
+    assert write_spans_jsonl(spans, path) == 3
+    loaded = load_spans(path)
+    assert len(loaded) == 3
+    for original, restored in zip(spans, loaded):
+        assert restored.name == original.name
+        assert restored.track == original.track
+        assert restored.start == original.start
+        assert restored.end == original.end
+        assert restored.attrs == original.attrs
+        assert restored.parent_id == original.parent_id
+
+
+def test_chrome_trace_structure(tmp_path):
+    spans = sample_spans()
+    events = chrome_trace_events(spans)
+    slices = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(slices) == 2 and len(instants) == 1
+    # One thread_name per track, one process_name per node.
+    thread_names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+    assert thread_names == {"n1/exec", "n2/pool"}
+    # Timestamps are in microseconds relative to the earliest span.
+    outer = next(e for e in slices if e["name"] == "outer")
+    inner = next(e for e in slices if e["name"] == "inner")
+    assert outer["ts"] == 0.0
+    assert inner["ts"] == 1e6 and inner["dur"] == 1e6
+    outer_span = next(s for s in spans if s.name == "outer")
+    assert inner["args"]["parent_id"] == outer_span.span_id
+    # The file is valid JSON with a traceEvents array.
+    path = str(tmp_path / "trace.json")
+    write_chrome_trace(spans, path)
+    payload = json.load(open(path))
+    assert isinstance(payload["traceEvents"], list)
+
+
+def test_load_spans_reads_chrome_format_back(tmp_path):
+    spans = sample_spans()
+    path = str(tmp_path / "trace.json")
+    write_chrome_trace(spans, path)
+    loaded = load_spans(path)
+    assert {s.name for s in loaded} == {"outer", "inner", "evt"}
+    inner = next(s for s in loaded if s.name == "inner")
+    assert inner.duration == 1.0
+
+
+def test_open_spans_are_skipped_by_chrome_export():
+    span = Span("open", 1.0)
+    assert chrome_trace_events([span]) == []
+
+
+def test_prometheus_text_format():
+    registry = MetricsRegistry(clock=lambda: 1.0, scope="sim0")
+    registry.counter("repro_test_things_total", help="things").inc(3)
+    registry.gauge("repro_test_level_count").set(7)
+    hist = registry.histogram("repro_test_wait_seconds", buckets=[1.0, 10.0])
+    hist.observe(0.5)
+    hist.observe(5.0)
+    text = prometheus_text(registry)
+    assert "# TYPE repro_test_things_total counter" in text
+    assert '# HELP repro_test_things_total things' in text
+    assert 'repro_test_things_total{scope="sim0"} 3' in text
+    assert 'repro_test_level_count{scope="sim0"} 7' in text
+    assert 'repro_test_wait_seconds_bucket{le="1",scope="sim0"} 1' in text
+    assert 'repro_test_wait_seconds_bucket{le="+Inf",scope="sim0"} 2' in text
+    assert 'repro_test_wait_seconds_count{scope="sim0"} 2' in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_merges_scopes_without_duplicate_headers():
+    a = MetricsRegistry(clock=lambda: 0.0, scope="sim0")
+    b = MetricsRegistry(clock=lambda: 0.0, scope="sim1")
+    a.counter("repro_test_things_total").inc()
+    b.counter("repro_test_things_total").inc(2)
+    text = prometheus_text([a, b])
+    assert text.count("# TYPE repro_test_things_total counter") == 1
+    assert 'repro_test_things_total{scope="sim0"} 1' in text
+    assert 'repro_test_things_total{scope="sim1"} 2' in text

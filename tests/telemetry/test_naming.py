@@ -1,0 +1,35 @@
+"""The metric-name lint: src/repro cannot drift from the convention."""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_metric_names  # noqa: E402
+
+
+def test_every_registered_metric_name_is_conventional():
+    assert check_metric_names.violations() == []
+
+
+def test_lint_actually_scans_the_instrumented_subsystems():
+    found = check_metric_names.find_metric_names()
+    files = {path for path, _, _ in found}
+    names = {name for _, _, name in found}
+    # The tentpole instrumentation points must all be visible to the lint.
+    assert any("rfaas/executor.py" in f for f in files)
+    assert any("rfaas/manager.py" in f for f in files)
+    assert any("containers/warmpool.py" in f for f in files)
+    assert any("slurm/scheduler.py" in f for f in files)
+    assert "repro_executor_dispatch_seconds" in names
+    assert "repro_warmpool_resident_bytes" in names
+    assert "repro_scheduler_queue_wait_seconds" in names
+
+
+def test_lint_catches_a_bad_name(tmp_path):
+    bad = tmp_path / "module.py"
+    bad.write_text("metrics.counter('badly_named')\n")
+    problems = check_metric_names.violations(root=tmp_path)
+    assert len(problems) == 1
+    assert "badly_named" in problems[0]

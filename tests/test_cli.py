@@ -50,3 +50,56 @@ def test_unknown_experiment_rejected():
 def test_all_rejects_overrides():
     with pytest.raises(SystemExit):
         main(["run", "all", "--set", "x=1"], out=lambda s: None)
+
+
+def test_run_with_trace_and_metrics_export(tmp_path):
+    import json
+
+    trace = tmp_path / "trace.json"
+    spans = tmp_path / "spans.jsonl"
+    metrics = tmp_path / "metrics.txt"
+    lines, out = collect()
+    code = main(
+        ["run", "fig07", "--set", "samples=5", "--set", "sizes=(1, 1024)",
+         "--trace", str(trace), "--spans", str(spans), "--metrics-out", str(metrics)],
+        out=out,
+    )
+    assert code == 0
+    payload = json.loads(trace.read_text())
+    events = payload["traceEvents"]
+    assert events
+    names = {e["name"] for e in events}
+    assert "rfaas.invocation" in names and "rfaas.dispatch" in names
+    # Nested spans: children carry parent_id links into invocation spans.
+    inv_ids = {e["args"]["span_id"] for e in events if e.get("name") == "rfaas.invocation"}
+    assert any(e.get("args", {}).get("parent_id") in inv_ids for e in events)
+    # Hot, warm, and cold paths all appear in the trace.
+    modes = {e["args"].get("mode") for e in events if e.get("name") == "rfaas.invocation"}
+    assert {"hot", "warm"} <= modes
+    kinds = {e["args"].get("kind") for e in events if e.get("name") == "rfaas.sandbox"}
+    assert "cold" in kinds
+    assert spans.read_text().strip()
+    assert "repro_executor_invocations_total" in metrics.read_text()
+    assert any("[trace:" in line for line in lines)
+
+
+def test_telemetry_summary_subcommand(tmp_path):
+    trace = tmp_path / "trace.json"
+    quiet = lambda s: None
+    main(["run", "fig07", "--set", "samples=5", "--set", "sizes=(1,)",
+          "--trace", str(trace)], out=quiet)
+    lines, out = collect()
+    code = main(["telemetry", "summary", str(trace)], out=out)
+    assert code == 0
+    text = "\n".join(lines)
+    assert "Telemetry summary" in text
+    assert "rfaas.invocation" in text
+    assert "p95 (us)" in text
+
+
+def test_run_without_telemetry_flags_records_nothing(tmp_path):
+    from repro.telemetry.provider import _ACTIVE
+
+    lines, out = collect()
+    main(["run", "fig10"], out=out)
+    assert _ACTIVE == []  # no collector leaks into later runs
