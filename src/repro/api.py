@@ -1,0 +1,196 @@
+"""The Platform facade: one call builds the whole simulated rFaaS stack.
+
+Every experiment used to wire the same six objects by hand — simulation
+environment, cluster + topology, DRC credential manager, network fabric,
+load registry, resource manager, function registry.
+:meth:`Platform.build` does that wiring once, with one seed fanned out
+into per-component rng streams, and returns a handle exposing the
+pieces experiments actually touch::
+
+    from repro.api import ClusterSpec, Platform
+
+    platform = Platform.build(ClusterSpec(nodes=2), seed=0)
+    platform.register_node("n0001", cores=2, memory_bytes=8 * 2**30)
+    platform.functions.register("noop", image, runtime_s=0.0, demand=demand)
+    client = platform.client("n0000")
+
+    def bench():
+        result = yield client.invoke("noop", payload_bytes=64)
+
+    platform.process(bench())
+    platform.run_until(10.0)
+
+Fault injection and telemetry ride the same call: ``faults=`` takes a
+:class:`~repro.faults.FaultPlan` (replayed by a seeded
+:class:`~repro.faults.Injector` as the simulation runs), ``telemetry=``
+pins a telemetry scope to the environment (``None`` keeps the default
+resolution, so an active :class:`~repro.telemetry.TelemetryCollector` —
+e.g. the CLI's ``--trace`` — still sees the run).
+
+Determinism: ``Platform.build(spec, seed=s)`` derives the fabric rng
+from ``s``, the manager rng from ``s + 1``, and the injector rng from
+``s + 2`` — the same fan-out the experiments used before the facade, so
+ported experiments reproduce their historical numbers exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Any, Optional
+
+import numpy as np
+
+from .cluster import Cluster, DAINT_MC, DragonflyTopology, NodeSpec
+from .faults import FaultPlan, Injector
+from .network import DrcManager, FabricProvider, NetworkFabric, UGNI
+from .rfaas import (
+    FunctionRegistry,
+    NodeLoadRegistry,
+    ResourceManager,
+    RFaaSClient,
+)
+from .sim import Environment
+from .telemetry import Telemetry, TelemetryCollector, install, telemetry_of
+
+__all__ = ["ClusterSpec", "Platform"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of the simulated cluster a :class:`Platform` is built on.
+
+    ``jitter`` overrides the fabric provider's latency jitter fraction
+    (``None`` keeps the provider default; ``0.0`` makes the network
+    fully deterministic).
+    """
+
+    nodes: int = 2
+    node_spec: NodeSpec = DAINT_MC
+    prefix: str = "n"
+    provider: FabricProvider = UGNI
+    jitter: Optional[float] = None
+    nodes_per_group: int = 2      # dragonfly topology group width
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError("need at least one node")
+        if self.nodes_per_group < 1:
+            raise ValueError("nodes_per_group must be >= 1")
+
+
+class Platform:
+    """A fully wired rFaaS platform instance; construct via :meth:`build`."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        drc: DrcManager,
+        fabric: NetworkFabric,
+        loads: NodeLoadRegistry,
+        manager: ResourceManager,
+        functions: FunctionRegistry,
+        spec: ClusterSpec,
+        seed: int,
+        injector: Optional[Injector] = None,
+    ):
+        self.env = env
+        self.cluster = cluster
+        self.drc = drc
+        self.fabric = fabric
+        self.loads = loads
+        self.manager = manager
+        self.functions = functions
+        self.spec = spec
+        self.seed = seed
+        self.injector = injector
+
+    @classmethod
+    def build(
+        cls,
+        cluster_spec: Optional[ClusterSpec] = None,
+        seed: int = 0,
+        telemetry: Any = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> "Platform":
+        """Construct environment, cluster, fabric, manager, and registry.
+
+        ``telemetry`` may be ``None`` (default resolution: an active
+        collector, else the no-op null telemetry), ``True`` (a fresh
+        :class:`Telemetry` pinned to this environment), a
+        :class:`TelemetryCollector` (this environment joins its scopes),
+        or a :class:`Telemetry` instance (pinned as-is).
+
+        ``faults`` is a :class:`FaultPlan`; a non-empty plan gets a
+        seeded :class:`Injector` that is started immediately, so its
+        faults fire as the simulation runs.  An empty or absent plan
+        changes nothing about the run.
+        """
+        spec = cluster_spec if cluster_spec is not None else ClusterSpec()
+        env = Environment()
+        if telemetry is True:
+            Telemetry(env=env).install(env)
+        elif isinstance(telemetry, TelemetryCollector):
+            install(env, telemetry.scope_for(env))
+        elif isinstance(telemetry, Telemetry):
+            install(env, telemetry)
+        elif telemetry is not None:
+            raise TypeError(
+                "telemetry must be None, True, a Telemetry, or a TelemetryCollector"
+            )
+        cluster = Cluster(
+            topology=DragonflyTopology(nodes_per_group=spec.nodes_per_group)
+        )
+        cluster.add_nodes(spec.prefix, spec.nodes, spec.node_spec)
+        drc = DrcManager()
+        provider = spec.provider
+        if spec.jitter is not None:
+            provider = _dc_replace(
+                provider, params=provider.params.with_jitter(spec.jitter)
+            )
+        fabric = NetworkFabric(
+            env, cluster, provider, rng=np.random.default_rng(seed), drc=drc
+        )
+        loads = NodeLoadRegistry(cluster)
+        manager = ResourceManager(
+            env, cluster, loads=loads, drc=drc,
+            rng=np.random.default_rng(seed + 1),
+        )
+        functions = FunctionRegistry()
+        injector = None
+        if faults is not None and not faults.empty:
+            injector = Injector(env, faults, manager, fabric=fabric, seed=seed + 2)
+            injector.start()
+        return cls(
+            env=env, cluster=cluster, drc=drc, fabric=fabric, loads=loads,
+            manager=manager, functions=functions, spec=spec, seed=seed,
+            injector=injector,
+        )
+
+    # -- conveniences -------------------------------------------------------
+    @property
+    def telemetry(self):
+        """The telemetry handle of this platform's environment."""
+        return telemetry_of(self.env)
+
+    def register_node(self, node_name: str, **kwargs):
+        """Donate a node's spare capacity (see ``ResourceManager.register_node``)."""
+        return self.manager.register_node(node_name, **kwargs)
+
+    def client(self, node: str, **kwargs) -> RFaaSClient:
+        """A client application invoking functions from ``node``."""
+        return RFaaSClient(
+            self.env, self.manager, self.fabric, self.functions,
+            client_node=node, **kwargs,
+        )
+
+    def process(self, generator, name: Optional[str] = None):
+        """Schedule a simulation process (delegates to the environment)."""
+        return self.env.process(generator, name=name)
+
+    def run_until(self, until: Optional[float] = None):
+        """Advance the simulation (to ``until``, or until the queue drains)."""
+        return self.env.run(until=until)
+
+    def run(self):
+        return self.env.run()

@@ -7,6 +7,8 @@ Usage::
     python -m repro run fig07 --trace trace.json --metrics-out metrics.txt
     python -m repro run all
     python -m repro telemetry summary trace.json
+    python -m repro chaos --rates 0,8,16 --seed 1
+    python -m repro chaos --plan plan.json --spans spans.jsonl
 
 ``--set key=value`` pairs are parsed as Python literals and forwarded to
 the experiment's ``run()``.  ``--trace`` writes a Chrome ``trace_event``
@@ -25,6 +27,7 @@ import time
 from typing import Any, Callable
 
 from .experiments import (
+    chaos_sweep,
     fig01_utilization,
     fig07_latency,
     fig08_storage,
@@ -35,6 +38,7 @@ from .experiments import (
     fig13_offloading,
     tab03_idle_node,
 )
+from .faults import FaultPlan
 from .telemetry import (
     TelemetryCollector,
     load_spans,
@@ -57,6 +61,7 @@ EXPERIMENTS: dict[str, tuple[Any, str]] = {
     "fig11": (fig11_memory_sharing, "remote-memory traffic perturbation"),
     "fig12": (fig12_gpu_sharing, "GPU co-location overheads"),
     "fig13": (fig13_offloading, "real offloading: Black-Scholes + MC transport"),
+    "chaos": (chaos_sweep, "invocation latency under injected faults"),
 }
 
 
@@ -120,6 +125,29 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         "--metrics-out", metavar="FILE", default=None,
         help="write a Prometheus-style text dump of all metrics",
     )
+    chaos_parser = sub.add_parser(
+        "chaos", help="fault-injection sweep: latency/recovery under faults",
+    )
+    chaos_parser.add_argument(
+        "--plan", metavar="FILE", default=None,
+        help="JSON FaultPlan to replay (instead of the built-in rate sweep)",
+    )
+    chaos_parser.add_argument(
+        "--rates", default=None, metavar="R1,R2,...",
+        help="comma-separated fault rates (events per simulated minute)",
+    )
+    chaos_parser.add_argument("--seed", type=int, default=0)
+    chaos_parser.add_argument(
+        "--window", type=float, default=30.0, metavar="SECONDS",
+        help="simulated measurement window per scenario",
+    )
+    for tel_parser in (chaos_parser,):
+        tel_parser.add_argument("--trace", metavar="FILE", default=None,
+                                help="write a Chrome trace_event JSON of the run")
+        tel_parser.add_argument("--spans", metavar="FILE", default=None,
+                                help="write a JSONL dump of all recorded spans")
+        tel_parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                                help="write a Prometheus-style text metrics dump")
     telemetry_parser = sub.add_parser(
         "telemetry", help="inspect exported telemetry",
     )
@@ -144,6 +172,34 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         except OSError as exc:
             parser.error(f"cannot read trace file: {exc}")
         out(span_summary_table(spans))
+        return 0
+
+    if args.command == "chaos":
+        kwargs: dict[str, Any] = {"seed": args.seed, "window_s": args.window}
+        if args.plan:
+            try:
+                kwargs["plan"] = FaultPlan.load(args.plan)
+            except (OSError, ValueError, TypeError, KeyError) as exc:
+                parser.error(f"cannot load fault plan: {exc}")
+        if args.rates:
+            if args.plan:
+                parser.error("--rates and --plan are mutually exclusive")
+            try:
+                kwargs["rates"] = tuple(float(r) for r in args.rates.split(","))
+            except ValueError:
+                parser.error(f"--rates expects comma-separated numbers, got {args.rates!r}")
+        collector = (TelemetryCollector()
+                     if args.trace or args.spans or args.metrics_out else None)
+        t0 = time.perf_counter()
+        if collector is not None:
+            with collector:
+                result = chaos_sweep.run(**kwargs)
+        else:
+            result = chaos_sweep.run(**kwargs)
+        out(chaos_sweep.format_report(result))
+        out(f"[chaos completed in {time.perf_counter() - t0:.2f}s]\n")
+        if collector is not None:
+            _export_telemetry(collector, args, out)
         return 0
 
     overrides = _parse_overrides(args.set)

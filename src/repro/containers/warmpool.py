@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -220,6 +221,22 @@ class WarmPool:
         """
         freed = 0
         while freed < bytes_needed and self._warm:
+            freed += self._evict_lru(swap=swap)
+        return freed
+
+    def evict_fraction(self, fraction: float, swap: bool = True) -> int:
+        """Evict the LRU ``fraction`` of parked containers; returns bytes freed.
+
+        The fault injector's memory-pressure events use this to model a
+        batch system clawing back idle memory without a full drain.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        victims = math.ceil(len(self._warm) * fraction)
+        freed = 0
+        for _ in range(victims):
+            if not self._warm:
+                break
             freed += self._evict_lru(swap=swap)
         return freed
 

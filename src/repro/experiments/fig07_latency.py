@@ -18,18 +18,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis.tables import render_table
-from ..cluster import Cluster, DAINT_MC, DragonflyTopology
+from ..api import ClusterSpec, Platform
 from ..containers import Image
 from ..interference import ResourceDemand
-from ..network import UGNI, DrcManager, NetworkFabric
-from ..rfaas import (
-    ExecutorMode,
-    FunctionRegistry,
-    NodeLoadRegistry,
-    ResourceManager,
-    RFaaSClient,
-)
-from ..sim import Environment
+from ..rfaas import ExecutorMode
 
 __all__ = ["LatencyPoint", "Fig07Result", "run", "format_report"]
 
@@ -59,23 +51,16 @@ def _percentiles(values: list[float]) -> tuple[float, float]:
 
 
 def _rfaas_sweep(mode: str, sizes, samples: int, seed: int) -> list[LatencyPoint]:
-    env = Environment()
-    cluster = Cluster(topology=DragonflyTopology(nodes_per_group=2))
-    cluster.add_nodes("n", 2, DAINT_MC)
-    drc = DrcManager()
-    fabric = NetworkFabric(env, cluster, UGNI, rng=np.random.default_rng(seed), drc=drc)
-    loads = NodeLoadRegistry(cluster)
-    manager = ResourceManager(env, cluster, loads=loads, drc=drc,
-                              rng=np.random.default_rng(seed + 1))
-    manager.register_node("n0001", cores=2, memory_bytes=8 * 1024**3, mode=mode)
-    functions = FunctionRegistry()
+    platform = Platform.build(ClusterSpec(nodes=2), seed=seed)
+    env = platform.env
+    platform.register_node("n0001", cores=2, memory_bytes=8 * 1024**3, mode=mode)
     image = Image("noop", size_bytes=50 * MiB)
-    functions.register(
+    platform.functions.register(
         "noop", image, runtime_s=0.0,
         demand=ResourceDemand(cores=1, membw=0.0, frac_membw=0.0),
         output_bytes=1,
     )
-    client = RFaaSClient(env, manager, fabric, functions, client_node="n0000")
+    client = platform.client("n0000")
     measurements: dict[int, list[float]] = {size: [] for size in sizes}
 
     def bench():
@@ -92,19 +77,17 @@ def _rfaas_sweep(mode: str, sizes, samples: int, seed: int) -> list[LatencyPoint
                 assert result.ok
                 measurements[size].append(env.now - t0)
 
-    env.process(bench())
-    env.run()
+    platform.process(bench())
+    platform.run()
     return [LatencyPoint(size, *_percentiles(measurements[size])) for size in sizes]
 
 
 def _fabric_sweep(sizes, samples: int, seed: int) -> list[LatencyPoint]:
-    env = Environment()
-    cluster = Cluster(topology=DragonflyTopology(nodes_per_group=2))
-    cluster.add_nodes("n", 2, DAINT_MC)
-    drc = DrcManager()
-    cred = drc.acquire("bench")
-    drc.grant(cred.cred_id, "bench", "bench")
-    fabric = NetworkFabric(env, cluster, UGNI, rng=np.random.default_rng(seed), drc=drc)
+    platform = Platform.build(ClusterSpec(nodes=2), seed=seed)
+    env = platform.env
+    cred = platform.drc.acquire("bench")
+    platform.drc.grant(cred.cred_id, "bench", "bench")
+    fabric = platform.fabric
     measurements: dict[int, list[float]] = {size: [] for size in sizes}
 
     def bench():
@@ -116,8 +99,8 @@ def _fabric_sweep(sizes, samples: int, seed: int) -> list[LatencyPoint]:
                 yield conn.recv_response(1)
                 measurements[size].append(env.now - t0)
 
-    env.process(bench())
-    env.run()
+    platform.process(bench())
+    platform.run()
     return [LatencyPoint(size, *_percentiles(measurements[size])) for size in sizes]
 
 

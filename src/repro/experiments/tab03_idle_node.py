@@ -101,53 +101,35 @@ def run_platform(
     executor/lease/load-registry wiring reproduces what the interference
     model predicts analytically.
     """
-    import numpy as np
-
+    from ..api import ClusterSpec, Platform
     from ..containers import Image
-    from ..network import DrcManager, IBVERBS, NetworkFabric
-    from ..rfaas import (
-        FunctionRegistry,
-        NodeLoadRegistry,
-        ResourceManager,
-        RFaaSClient,
-    )
-    from ..sim import Environment
-    from ..cluster import Cluster, DragonflyTopology
+    from ..network import IBVERBS
 
     app = nas_model(benchmark)
     out: dict[int, float] = {}
     for count in counts:
-        env = Environment()
-        cluster = Cluster(topology=DragonflyTopology(nodes_per_group=2))
-        cluster.add_nodes("n", 2, DAINT_MC)
-        drc = DrcManager()
-        from dataclasses import replace as _replace
-
-        provider = _replace(IBVERBS, params=IBVERBS.params.with_jitter(0.0))
-        fabric = NetworkFabric(env, cluster, provider,
-                               rng=np.random.default_rng(seed), drc=drc)
-        manager = ResourceManager(env, cluster, loads=NodeLoadRegistry(cluster),
-                                  drc=drc, rng=np.random.default_rng(seed))
-        registered = manager.register_node("n0001", cores=max(counts),
-                                           memory_bytes=32 * 1024**3)
-        functions = FunctionRegistry()
+        platform = Platform.build(
+            ClusterSpec(nodes=2, provider=IBVERBS, jitter=0.0), seed=seed
+        )
+        env = platform.env
+        registered = platform.register_node("n0001", cores=max(counts),
+                                            memory_bytes=32 * 1024**3)
         image = Image("nas", size_bytes=100 * 1024**2)
-        functions.register(benchmark, image, runtime_s=app.runtime_s,
-                           demand=app.demand(1))
+        platform.functions.register(benchmark, image, runtime_s=app.runtime_s,
+                                    demand=app.demand(1))
         registered.executor.prewarm(image)
         completions = [0]
 
         def stream():
-            client = RFaaSClient(env, manager, fabric, functions,
-                                 client_node="n0000")
+            client = platform.client("n0000")
             while env.now < window_s:
                 result = yield client.invoke(benchmark, payload_bytes=1024)
                 if result.ok:
                     completions[0] += 1
 
         for _ in range(count):
-            env.process(stream())
-        env.run(until=window_s)
+            platform.process(stream())
+        platform.run_until(window_s)
         out[count] = completions[0] / window_s
     per_stream_base = out[counts[0]] / counts[0]
     return {n: rate / per_stream_base for n, rate in out.items()}

@@ -1,0 +1,30 @@
+"""Fault injection and failure recovery for the rFaaS platform model.
+
+Two halves, one subsystem:
+
+* **Injection** — :class:`FaultPlan` (declarative, JSON-serializable
+  schedules of :class:`FaultEvent`\\ s) replayed by an
+  :class:`Injector` through public hooks in the manager, fabric,
+  executor, and warm pool.  See ``docs/fault_injection.md``.
+* **Recovery** — :class:`RetryPolicy` (the client's attempt budget,
+  backoff, deadline, and node-exclusion knobs) and
+  :class:`DegradedResult` / :class:`RecoveryOutcome` (how an
+  invocation actually concluded).
+
+This package never imports ``repro.rfaas.client`` (the client imports
+*us*); it depends only on the error taxonomy and message types.
+"""
+
+from .injector import Injector
+from .plan import FaultEvent, FaultKind, FaultPlan
+from .recovery import DegradedResult, RecoveryOutcome, RetryPolicy
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "Injector",
+    "RetryPolicy",
+    "RecoveryOutcome",
+    "DegradedResult",
+]

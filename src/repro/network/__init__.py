@@ -3,7 +3,13 @@
 from .drc import Credential, DrcError, DrcManager
 from .fabric import EFA, IBVERBS, PROVIDERS, TCP, UGNI, FabricProvider
 from .logp import LogGPParams, fit_loggp
-from .transport import Connection, NetworkFabric, TransferStats
+from .transport import (
+    Connection,
+    LinkConditioner,
+    NetworkFabric,
+    TransferDropped,
+    TransferStats,
+)
 
 __all__ = [
     "Credential",
@@ -20,4 +26,6 @@ __all__ = [
     "Connection",
     "NetworkFabric",
     "TransferStats",
+    "LinkConditioner",
+    "TransferDropped",
 ]

@@ -24,9 +24,109 @@ from ..sim.resources import Resource
 from .drc import DrcManager
 from .fabric import FabricProvider
 
-__all__ = ["NetworkFabric", "Connection", "TransferStats"]
+__all__ = [
+    "NetworkFabric",
+    "Connection",
+    "TransferStats",
+    "LinkConditioner",
+    "TransferDropped",
+]
 
 _conn_ids = itertools.count(1)
+
+
+class TransferDropped(ConnectionError):
+    """A transfer failed due to an injected network fault.
+
+    Raised out of the transfer process when the link between the
+    endpoints is partitioned or the conditioner's loss model drops the
+    message.  The sender observes the failure after the link's base
+    latency (it learns from a missing completion, not instantly).
+    """
+
+    def __init__(self, message: str, src: Optional[str] = None, dst: Optional[str] = None):
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+
+
+class LinkConditioner:
+    """Mutable fault state of a fabric, consulted per transfer.
+
+    The fault-injection subsystem (:mod:`repro.faults`) degrades the
+    interconnect through this object rather than monkeypatching the
+    fabric: ``latency_factor`` multiplies every sampled message latency,
+    ``bandwidth_factor`` scales the available bandwidth (0.5 = half the
+    nominal bandwidth, doubling serialization time), ``drop_rate``
+    drops a seeded fraction of transfers, and :meth:`partition`
+    isolates a node set from the rest of the cluster.  Conditions are
+    read when a transfer is *issued*, so transfers already queued on a
+    NIC channel keep the conditions under which they were sent.
+
+    The pristine state (all factors 1, no loss, no partition) is
+    byte-for-byte identical to an unconditioned fabric: no random draws,
+    no extra events.
+    """
+
+    def __init__(self):
+        self.latency_factor = 1.0
+        self.bandwidth_factor = 1.0
+        self.drop_rate = 0.0
+        self._drop_rng: Optional[np.random.Generator] = None
+        self._isolated: set[str] = set()
+
+    @property
+    def pristine(self) -> bool:
+        return (
+            self.latency_factor == 1.0
+            and self.bandwidth_factor == 1.0
+            and self.drop_rate == 0.0
+            and not self._isolated
+        )
+
+    # -- degradation ---------------------------------------------------------
+    def degrade(self, latency_factor: float = 1.0, bandwidth_factor: float = 1.0) -> None:
+        """Scale link performance; factors must be positive."""
+        if latency_factor <= 0 or bandwidth_factor <= 0:
+            raise ValueError("degradation factors must be positive")
+        self.latency_factor = latency_factor
+        self.bandwidth_factor = bandwidth_factor
+
+    def set_loss(self, drop_rate: float, rng: Optional[np.random.Generator] = None) -> None:
+        """Drop a random fraction of transfers, seeded by ``rng``."""
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError("drop_rate must be in [0, 1]")
+        if drop_rate > 0 and rng is None and self._drop_rng is None:
+            raise ValueError("a seeded rng is required for message loss")
+        self.drop_rate = drop_rate
+        if rng is not None:
+            self._drop_rng = rng
+
+    def restore(self) -> None:
+        """Reset factors and loss (partitions heal separately)."""
+        self.latency_factor = 1.0
+        self.bandwidth_factor = 1.0
+        self.drop_rate = 0.0
+
+    # -- partitions ----------------------------------------------------------
+    def partition(self, nodes) -> None:
+        """Isolate ``nodes`` from every node outside the set."""
+        self._isolated |= set(nodes)
+
+    def heal(self, nodes=None) -> None:
+        """Undo a partition (all of it when ``nodes`` is None)."""
+        if nodes is None:
+            self._isolated.clear()
+        else:
+            self._isolated -= set(nodes)
+
+    def is_blocked(self, src: str, dst: str) -> bool:
+        return (src in self._isolated) != (dst in self._isolated)
+
+    def should_drop(self) -> bool:
+        if self.drop_rate <= 0.0:
+            return False
+        return float(self._drop_rng.random()) < self.drop_rate
 
 
 class TransferStats:
@@ -97,6 +197,7 @@ class NetworkFabric:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.drc = drc
         self.stats = TransferStats()
+        self.conditioner = LinkConditioner()
         self._egress: dict[str, Resource] = {}
         self._ingress: dict[str, Resource] = {}
 
@@ -152,10 +253,22 @@ class NetworkFabric:
         else:
             base_latency = 2 * params.o + params.L + hop
         latency = params.sample(base_latency, self.rng)
+        conditioner = self.conditioner
+        dropped = conditioner.is_blocked(src, dst) or conditioner.should_drop()
+        latency *= conditioner.latency_factor
+        serialization /= conditioner.bandwidth_factor
         egress, _ = self._channels(src)
         _, ingress = self._channels(dst)
 
         def run():
+            if dropped:
+                # The sender learns of the loss after the propagation
+                # delay: no completion arrives, the op errors out.
+                yield self.env.timeout(latency)
+                raise TransferDropped(
+                    f"transfer {src}->{dst} ({size_bytes} B) dropped by fault injection",
+                    src=src, dst=dst,
+                )
             with egress.request() as ereq:
                 yield ereq
                 with ingress.request() as ireq:

@@ -1,10 +1,17 @@
 """HPC-specialized serverless platform (rFaaS model)."""
 
 from .client import RFaaSClient
-from .executor import Executor, ExecutorMode, TerminationError
+from .errors import (
+    InvocationTimeout,
+    LeaseRevokedError,
+    NoCapacityError,
+    RFaaSError,
+    TerminationError,
+)
+from .executor import Executor, ExecutorMode
 from .lease import Lease, LeaseState
 from .load import NodeLoadRegistry
-from .manager import NoCapacityError, RegisteredNode, ResourceManager
+from .manager import RegisteredNode, ResourceManager
 from .messages import InvocationRequest, InvocationResult, InvocationStatus, Timings
 from .registry import FunctionDef, FunctionRegistry
 
@@ -12,7 +19,10 @@ __all__ = [
     "RFaaSClient",
     "Executor",
     "ExecutorMode",
+    "RFaaSError",
     "TerminationError",
+    "LeaseRevokedError",
+    "InvocationTimeout",
     "Lease",
     "LeaseState",
     "NodeLoadRegistry",

@@ -5,24 +5,48 @@ resources, establishing the RDMA connection (with DRC credentials on
 uGNI), sending payloads, and — crucially for ephemeral HPC capacity —
 transparently re-leasing and redirecting when the platform cancels a
 lease underneath the client (Sec. III-A).
+
+Recovery is governed by a :class:`~repro.faults.RetryPolicy`: attempt
+budget, exponential backoff with seeded jitter, an optional
+per-invocation deadline, and node-exclusion memory.  The default policy
+is exactly the historical ``max_redirects=3`` behaviour — immediate
+retries, no deadline — so plain callers see no difference; callers who
+care *how* an invocation concluded use :meth:`RFaaSClient.invoke_detailed`
+and get a :class:`~repro.faults.DegradedResult` back.
 """
 
 from __future__ import annotations
 
 import itertools
+from dataclasses import replace
 from typing import Optional
 
-from ..network.transport import Connection, NetworkFabric
+import numpy as np
+
+from ..faults.recovery import DegradedResult, RecoveryOutcome, RetryPolicy
+from ..network.transport import Connection, NetworkFabric, TransferDropped
 from ..sim.engine import Environment
-from .executor import Executor, TerminationError
+from ..telemetry import telemetry_of
+from .errors import (
+    InvocationTimeout,
+    LeaseRevokedError,
+    NoCapacityError,
+    RFaaSError,
+    TerminationError,
+)
+from .executor import Executor
 from .lease import Lease
-from .manager import NoCapacityError, ResourceManager
+from .manager import ResourceManager
 from .messages import InvocationRequest, InvocationResult, InvocationStatus
 from .registry import FunctionDef, FunctionRegistry
 
 __all__ = ["RFaaSClient"]
 
 _client_ids = itertools.count(1)
+
+# Interrupt cause used when the client aborts its own execution because
+# the RetryPolicy deadline elapsed (vs. a platform-side reclaim).
+_TIMEOUT_CAUSE = "client-timeout"
 
 
 class RFaaSClient:
@@ -37,26 +61,61 @@ class RFaaSClient:
         client_node: str,
         name: Optional[str] = None,
         max_redirects: int = 3,
+        retry_policy: Optional[RetryPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
     ):
-        if max_redirects < 0:
-            raise ValueError("max_redirects must be non-negative")
+        if retry_policy is None:
+            retry_policy = RetryPolicy.from_redirects(max_redirects)
         self.env = env
         self.manager = manager
         self.fabric = fabric
         self.functions = functions
         self.client_node = client_node
         self.name = name or f"client-{next(_client_ids)}"
-        self.max_redirects = max_redirects
+        self.retry_policy = retry_policy
+        self.max_redirects = retry_policy.max_redirects
+        self.rng = rng
         self._lease: Optional[Lease] = None
         self._executor: Optional[Executor] = None
         self._connection: Optional[Connection] = None
         self._leasing = None  # event guarding concurrent lease setup
+        self._closed = False
+        # Concurrent invocations share one connection; a connection that
+        # went stale (lease revoked / dropped / client closed) is only
+        # closed once its last in-flight user drains off it.
+        self._inflight: dict[Connection, int] = {}
+        self._stale: set[Connection] = set()
         self.redirects = 0
+        # Recovery telemetry (no-ops under the default null telemetry).
+        telemetry = telemetry_of(env)
+        self._tracer = telemetry.tracer
+        self._metrics = telemetry.metrics
+        self._m_retries: dict = {}
+        self._m_recovered = self._metrics.counter(
+            "repro_faults_recovered_invocations_total",
+            help="invocations that succeeded after at least one retry",
+        )
+        self._m_gave_up = self._metrics.counter(
+            "repro_faults_abandoned_invocations_total",
+            help="invocations that exhausted their retry budget",
+        )
+        self._m_timeouts = self._metrics.counter(
+            "repro_faults_timeouts_total",
+            help="invocations aborted by the client-side deadline",
+        )
+        self._m_recovery_s = self._metrics.histogram(
+            "repro_faults_recovery_seconds",
+            help="first failure to eventual success, per recovered invocation",
+        )
 
     # -- lease/connection management --------------------------------------------
     @property
     def lease(self) -> Optional[Lease]:
         return self._lease
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def _lease_valid(self) -> bool:
         return self._lease is not None and self._lease.active
@@ -75,9 +134,14 @@ class RFaaSClient:
         """Process: obtain a lease + connection if we lack one.
 
         Concurrent invocations share one lease: the first caller performs
-        the setup while the others wait on a guard event.
+        the setup while the others wait on a guard event.  Raises
+        :class:`LeaseRevokedError` when the platform cancels the fresh
+        lease while the connection is still being established, or when
+        the client is closed mid-setup.
         """
         while True:
+            if self._closed:
+                raise LeaseRevokedError(f"client {self.name} is closed")
             if self._lease_valid() and self._connection is not None:
                 return
             if self._leasing is not None:
@@ -99,6 +163,16 @@ class RFaaSClient:
                     self.client_node, lease.node_name, user=self.name,
                     cred_id=credential.cred_id,
                 )
+                if self._closed or not lease.active:
+                    # Revoked (or closed) while the connection handshake
+                    # was in flight: hand nothing back, redirect instead.
+                    if lease.active:
+                        self.manager.release_lease(lease)
+                    connection.close()
+                    raise LeaseRevokedError(
+                        f"lease {lease.lease_id} revoked during connect",
+                        node_name=lease.node_name,
+                    )
                 self._lease = lease
                 self._executor = executor
                 self._connection = connection
@@ -108,10 +182,18 @@ class RFaaSClient:
             return
 
     def close(self) -> None:
+        """Release the lease and connection; safe to call more than once.
+
+        A concurrent in-flight ``_ensure_lease`` notices ``_closed`` when
+        its connect completes and gives its fresh lease straight back.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._lease is not None and self._lease.active:
             self.manager.release_lease(self._lease)
         if self._connection is not None:
-            self._connection.close()
+            self._retire(self._connection)
         self._lease = None
         self._executor = None
         self._connection = None
@@ -121,42 +203,139 @@ class RFaaSClient:
         """Process: one invocation; yields an :class:`InvocationResult`.
 
         On lease cancellation mid-flight the client redirects to a fresh
-        lease (excluding the reclaimed node) up to ``max_redirects``
-        times; exhaustion surfaces as a TERMINATED result.
+        lease (excluding the reclaimed node) within the retry policy's
+        attempt budget; exhaustion surfaces as a TERMINATED result.
         """
         fdef = self.functions.lookup(function)
         return self.env.process(
             self._invoke(fdef, payload_bytes, cores), name=f"{self.name}-invoke-{function}"
         )
 
+    def invoke_detailed(self, function: str, payload_bytes: int = 0, cores: int = 1):
+        """Process: one invocation; yields a :class:`DegradedResult`.
+
+        Same recovery loop as :meth:`invoke`, but the value carries the
+        full recovery story: outcome, attempts, retries, backoff and
+        recovery time, and the last platform error observed.
+        """
+        fdef = self.functions.lookup(function)
+        return self.env.process(
+            self._invoke_detailed(fdef, payload_bytes, cores),
+            name=f"{self.name}-invoke-{function}",
+        )
+
     def _invoke(self, fdef: FunctionDef, payload_bytes: int, cores: int):
+        detailed = yield from self._invoke_detailed(fdef, payload_bytes, cores)
+        return detailed.result
+
+    def _invoke_detailed(self, fdef: FunctionDef, payload_bytes: int, cores: int):
+        if self._closed:
+            raise RFaaSError(f"client {self.name} is closed")
+        policy = self.retry_policy
         request = InvocationRequest(function=fdef.name, payload_bytes=payload_bytes)
         exclude: tuple[str, ...] = ()
         resume_offset = 0.0
-        for _attempt in range(self.max_redirects + 1):
+        t_begin = self.env.now
+        deadline = None if policy.timeout_s is None else t_begin + policy.timeout_s
+        first_failure: Optional[float] = None
+        backoff_total = 0.0
+        last_error: Optional[Exception] = None
+        attempts = 0
+
+        def finish(result: InvocationResult, outcome: RecoveryOutcome) -> DegradedResult:
+            recovery = 0.0 if first_failure is None else self.env.now - first_failure
+            degraded = DegradedResult(
+                result=result, outcome=outcome, attempts=attempts,
+                retries=max(0, attempts - 1), elapsed_s=self.env.now - t_begin,
+                recovery_s=recovery, backoff_s=backoff_total, error=last_error,
+            )
+            if outcome is RecoveryOutcome.RECOVERED:
+                self._m_recovered.inc()
+                self._m_recovery_s.observe(recovery)
+            elif outcome is RecoveryOutcome.GAVE_UP:
+                self._m_gave_up.inc()
+            elif outcome is RecoveryOutcome.TIMED_OUT:
+                self._m_timeouts.inc()
+            if outcome in (RecoveryOutcome.RECOVERED, RecoveryOutcome.GAVE_UP,
+                           RecoveryOutcome.TIMED_OUT):
+                self._tracer.instant(
+                    f"recovery.{outcome.value}", track=f"{self.name}/recovery",
+                    function=fdef.name, attempts=attempts,
+                    recovery_s=recovery,
+                )
+            return degraded
+
+        def timed_out() -> DegradedResult:
+            nonlocal last_error
+            last_error = InvocationTimeout(
+                f"invocation of {fdef.name!r} exceeded {policy.timeout_s}s",
+                elapsed_s=self.env.now - t_begin, attempts=attempts,
+            )
+            return finish(
+                InvocationResult(request=request, status=InvocationStatus.TERMINATED),
+                RecoveryOutcome.TIMED_OUT,
+            )
+
+        for attempt_index in range(policy.max_attempts):
+            if attempt_index > 0:
+                delay = policy.backoff(attempt_index, self.rng)
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                    backoff_total += delay
+            if deadline is not None and self.env.now >= deadline:
+                return timed_out()
+            attempts += 1
             try:
                 yield from self._ensure_lease(fdef, cores, exclude)
-            except NoCapacityError:
-                return InvocationResult(request=request, status=InvocationStatus.REJECTED)
+            except NoCapacityError as err:
+                last_error = err
+                return finish(
+                    InvocationResult(request=request, status=InvocationStatus.REJECTED),
+                    RecoveryOutcome.REJECTED,
+                )
+            except LeaseRevokedError as err:
+                last_error = err
+                if first_failure is None:
+                    first_failure = self.env.now
+                if policy.exclude_failed_nodes and err.node_name is not None:
+                    exclude = exclude + (err.node_name,)
+                self.redirects += 1
+                self._note_retry("revoked", err.node_name, attempts)
+                if self._closed:
+                    break
+                continue
             executor, connection = self._executor, self._connection
             if executor is None or connection is None:
                 # The lease was cancelled between setup and use (e.g. an
                 # immediate reclaim raced us); try again elsewhere.
+                if first_failure is None:
+                    first_failure = self.env.now
                 self.redirects += 1
+                self._note_retry("race", None, attempts)
                 continue
             t_start = self.env.now
+            self._inflight[connection] = self._inflight.get(connection, 0) + 1
             try:
                 yield connection.send(payload_bytes)
                 network_out = self.env.now - t_start
                 if resume_offset:
-                    from dataclasses import replace as _replace
-
-                    request = _replace(request, resume_offset_s=resume_offset)
-                result: InvocationResult = yield executor.execute(fdef, request)
+                    request = replace(request, resume_offset_s=resume_offset)
+                if deadline is None:
+                    result: InvocationResult = yield executor.execute(fdef, request)
+                else:
+                    if deadline - self.env.now <= 0:
+                        return timed_out()
+                    result = yield from self._execute_with_deadline(
+                        executor, fdef, request, deadline
+                    )
                 if result.status == InvocationStatus.REJECTED:
                     # Executor started draining between lease and dispatch.
-                    exclude = exclude + (executor.node.name,)
+                    if first_failure is None:
+                        first_failure = self.env.now
+                    if policy.exclude_failed_nodes:
+                        exclude = exclude + (executor.node.name,)
                     self.redirects += 1
+                    self._note_retry("rejected", executor.node.name, attempts)
                     continue
                 t_back = self.env.now
                 yield connection.recv_response(result.output_bytes)
@@ -164,16 +343,105 @@ class RFaaSClient:
                 result.timings.network_back = self.env.now - t_back
                 if self._connection is not connection:
                     # Lease was cancelled while we were in flight; the
-                    # response has landed, so the old connection can go.
-                    connection.close()
-                return result
+                    # response has landed, so the old connection can go
+                    # (once every other in-flight user drains off it).
+                    self._stale.add(connection)
+                outcome = (RecoveryOutcome.OK if first_failure is None
+                           else RecoveryOutcome.RECOVERED)
+                return finish(result, outcome)
             except TerminationError as term:
+                if term.cause == _TIMEOUT_CAUSE:
+                    return timed_out()
                 # Reclaimed mid-flight: redirect to a new lease, resuming
                 # from the checkpoint if the function supports it.
+                last_error = term
+                if first_failure is None:
+                    first_failure = self.env.now
                 resume_offset = max(resume_offset, term.checkpoint_s)
-                exclude = exclude + ((executor.node.name,) if executor else ())
+                if policy.exclude_failed_nodes:
+                    exclude = exclude + (executor.node.name,)
                 self.redirects += 1
                 if self._lease is not None and not self._lease.active:
                     self._lease = None
+                self._note_retry("termination", executor.node.name, attempts)
                 continue
-        return InvocationResult(request=request, status=InvocationStatus.TERMINATED)
+            except TransferDropped as drop:
+                # The path to the node is broken (partition / loss); the
+                # lease itself may be fine but is unreachable — give it
+                # back and redirect.
+                last_error = drop
+                if first_failure is None:
+                    first_failure = self.env.now
+                self._abandon_connection(connection)
+                if policy.exclude_failed_nodes:
+                    exclude = exclude + (executor.node.name,)
+                self.redirects += 1
+                self._note_retry("dropped", executor.node.name, attempts)
+                continue
+            finally:
+                self._release_inflight(connection)
+        return finish(
+            InvocationResult(request=request, status=InvocationStatus.TERMINATED),
+            RecoveryOutcome.GAVE_UP,
+        )
+
+    def _execute_with_deadline(self, executor, fdef, request, deadline: float):
+        """Race the execution against the policy deadline.
+
+        On expiry the running execution is interrupted (the executor
+        cleans up exactly as for a platform reclaim) and the resulting
+        ``TerminationError`` carries :data:`_TIMEOUT_CAUSE` so the
+        caller can tell the two apart.
+        """
+        exec_proc = executor.execute(fdef, request)
+        timer = self.env.timeout(deadline - self.env.now)
+        yield self.env.any_of([exec_proc, timer])
+        if exec_proc.triggered and exec_proc.ok:
+            return exec_proc.value
+        if not exec_proc.triggered:
+            exec_proc.interrupt(cause=_TIMEOUT_CAUSE)
+        # Raises TerminationError: ours (timeout cause) or, on a tie,
+        # the platform's own reclaim — both handled by the caller.
+        result = yield exec_proc
+        return result
+
+    def _abandon_connection(self, connection: Connection) -> None:
+        if self._connection is connection:
+            if self._lease is not None and self._lease.active:
+                self.manager.release_lease(self._lease)
+            self._lease = None
+            self._executor = None
+            self._connection = None
+        self._stale.add(connection)
+
+    def _retire(self, connection: Connection) -> None:
+        """Close ``connection`` now, or once its in-flight users drain."""
+        if self._inflight.get(connection, 0) == 0:
+            self._stale.discard(connection)
+            connection.close()
+        else:
+            self._stale.add(connection)
+
+    def _release_inflight(self, connection: Connection) -> None:
+        remaining = self._inflight.get(connection, 0) - 1
+        if remaining > 0:
+            self._inflight[connection] = remaining
+            return
+        self._inflight.pop(connection, None)
+        if connection in self._stale:
+            self._stale.discard(connection)
+            connection.close()
+
+    def _note_retry(self, reason: str, node: Optional[str], attempt: int) -> None:
+        counter = self._m_retries.get(reason)
+        if counter is None:
+            counter = self._metrics.counter(
+                "repro_faults_retries_total", labels={"reason": reason},
+                help="client retry attempts, by cause",
+            )
+            self._m_retries[reason] = counter
+        counter.inc()
+        self._tracer.instant(
+            "recovery.retry", track=f"{self.name}/recovery",
+            reason=reason, node=node, attempt=attempt,
+        )

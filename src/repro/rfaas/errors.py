@@ -1,0 +1,79 @@
+"""The rFaaS error taxonomy.
+
+Every failure the platform reports to user code derives from
+:class:`RFaaSError`, so callers can write one ``except`` arm for
+"the platform failed me" and still discriminate when they care::
+
+    RFaaSError(RuntimeError)
+    ├── NoCapacityError       no registered node can satisfy a lease
+    ├── TerminationError      invocation aborted: executor reclaimed
+    │                         (carries ``checkpoint_s`` + ``cause``)
+    ├── LeaseRevokedError     a lease was cancelled by the platform
+    │                         before/while the client was using it
+    └── InvocationTimeout     the client-side invocation deadline
+                              (``RetryPolicy.timeout_s``) elapsed
+
+``NoCapacityError`` and ``TerminationError`` predate this module and are
+re-exported from their historical homes (``repro.rfaas.manager`` and
+``repro.rfaas.executor``) so existing imports keep working.
+
+Semantics under recovery (see :mod:`repro.faults.recovery`): the client
+treats ``TerminationError`` and ``LeaseRevokedError`` as *retryable* —
+the work can redirect to a fresh lease on another node — while
+``NoCapacityError`` and ``InvocationTimeout`` terminate the attempt loop
+(there is nowhere else to go / no time left to go there).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = [
+    "RFaaSError",
+    "NoCapacityError",
+    "TerminationError",
+    "LeaseRevokedError",
+    "InvocationTimeout",
+]
+
+
+class RFaaSError(RuntimeError):
+    """Base class of every rFaaS platform error."""
+
+
+class NoCapacityError(RFaaSError):
+    """No registered node can satisfy the lease request."""
+
+
+class TerminationError(RFaaSError):
+    """Invocation aborted because the executor was reclaimed.
+
+    ``checkpoint_s`` carries the nominal-runtime seconds already completed
+    and checkpointed (0 for non-checkpointable functions): the client
+    library resumes from there on its redirect target.  ``cause`` names
+    what interrupted the invocation (e.g. ``"reclaim"``, or the fault
+    kind injected by :class:`repro.faults.Injector`).
+    """
+
+    def __init__(self, message: str, checkpoint_s: float = 0.0, cause: Any = "reclaim"):
+        super().__init__(message)
+        self.checkpoint_s = checkpoint_s
+        self.cause = cause
+
+
+class LeaseRevokedError(RFaaSError):
+    """The platform cancelled a lease the client was still setting up or
+    using; the client library redirects to a fresh lease elsewhere."""
+
+    def __init__(self, message: str, node_name: Optional[str] = None):
+        super().__init__(message)
+        self.node_name = node_name
+
+
+class InvocationTimeout(RFaaSError):
+    """The client-side per-invocation deadline elapsed across retries."""
+
+    def __init__(self, message: str, elapsed_s: float = 0.0, attempts: int = 0):
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+        self.attempts = attempts

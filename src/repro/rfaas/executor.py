@@ -29,6 +29,7 @@ from ..sim.engine import Environment, Interrupt, Process
 from ..sim.resources import Resource
 from ..storage.tiered import TieredFunctionStorage
 from ..telemetry import SpanKind, telemetry_of
+from .errors import TerminationError
 from .load import NodeLoadRegistry
 from .messages import InvocationRequest, InvocationResult, InvocationStatus, Timings
 from .registry import FunctionDef
@@ -36,19 +37,6 @@ from .registry import FunctionDef
 __all__ = ["Executor", "ExecutorMode", "TerminationError"]
 
 _executor_ids = itertools.count(1)
-
-
-class TerminationError(RuntimeError):
-    """Invocation aborted because the executor was reclaimed.
-
-    ``checkpoint_s`` carries the nominal-runtime seconds already completed
-    and checkpointed (0 for non-checkpointable functions): the client
-    library resumes from there on its redirect target.
-    """
-
-    def __init__(self, message: str, checkpoint_s: float = 0.0):
-        super().__init__(message)
-        self.checkpoint_s = checkpoint_s
 
 
 class ExecutorMode:
@@ -100,6 +88,9 @@ class Executor:
         self.max_invocation_s = max_invocation_s
         self.slots = Resource(env, capacity=cores)
         self.draining = False
+        # Fault-injection hook (repro.faults): a straggling executor
+        # picks work up late by this factor; 1.0 = healthy.
+        self.dispatch_multiplier = 1.0
         self._active: set[Process] = set()
         # Containers attached to this executor: after the first invocation
         # of an image, the function process stays resident, so subsequent
@@ -178,8 +169,10 @@ class Executor:
 
     def _dispatch_delay(self) -> float:
         if self.mode == ExecutorMode.HOT:
-            return _HOT_DISPATCH_S
-        return _WARM_WAKEUP_BASE_S + float(self.rng.exponential(_WARM_WAKEUP_MEAN_S))
+            base = _HOT_DISPATCH_S
+        else:
+            base = _WARM_WAKEUP_BASE_S + float(self.rng.exponential(_WARM_WAKEUP_MEAN_S))
+        return base * self.dispatch_multiplier
 
     def _execute(self, fdef: FunctionDef, request: InvocationRequest):
         if self.draining:
@@ -282,6 +275,7 @@ class Executor:
             raise TerminationError(
                 f"invocation {request.invocation_id}: {intr.cause}",
                 checkpoint_s=checkpoint,
+                cause=intr.cause,
             ) from None
         finally:
             if registered:

@@ -33,15 +33,12 @@ from ..network.drc import Credential, DrcManager
 from ..sim.engine import Environment
 from ..sim.trace import EventLog
 from ..telemetry import telemetry_of
+from .errors import NoCapacityError
 from .executor import Executor, ExecutorMode
 from .lease import Lease, LeaseState
 from .load import NodeLoadRegistry
 
 __all__ = ["ResourceManager", "RegisteredNode", "NoCapacityError"]
-
-
-class NoCapacityError(RuntimeError):
-    """No registered node can satisfy the lease request."""
 
 
 class RegisteredNode:
@@ -110,6 +107,10 @@ class ResourceManager:
         self._m_free_cores = metrics.gauge(
             "repro_manager_free_cores_count",
             help="registered executor cores not held by a lease",
+        )
+        self._m_revoked = metrics.counter(
+            "repro_manager_revoked_leases_total",
+            help="leases cancelled by the platform (reclaim or fault injection)",
         )
 
     def _record_pool(self) -> None:
@@ -217,6 +218,20 @@ class ResourceManager:
     def registered_nodes(self) -> list[str]:
         return sorted(self._nodes)
 
+    def registration_of(self, node_name: str) -> dict:
+        """The ``register_node`` keyword arguments that would recreate
+        ``node_name``'s registration — used by crash/recovery injection
+        to re-register a node with identical capacity after it heals."""
+        registered = self._nodes[node_name]
+        return {
+            "node_name": node_name,
+            "cores": registered.cores_total,
+            "memory_bytes": registered.memory_total,
+            "gpus": registered.gpus_total,
+            "mode": registered.executor.mode,
+            "max_invocation_s": registered.executor.max_invocation_s,
+        }
+
     def is_registered(self, node_name: str) -> bool:
         return node_name in self._nodes
 
@@ -280,6 +295,45 @@ class ResourceManager:
             cores=cores,
         )
         return lease, chosen.executor
+
+    def active_leases(self) -> list[tuple[Lease, str]]:
+        """All active ``(lease, node_name)`` pairs, ordered by lease id.
+
+        The deterministic ordering is what lets a seeded revocation
+        storm (:mod:`repro.faults`) pick identical victims run to run.
+        """
+        out = []
+        for lease_id in sorted(self._lease_owner):
+            node_name = self._lease_owner[lease_id]
+            registered = self._nodes.get(node_name)
+            if registered is None:
+                continue
+            entry = registered.leases.get(lease_id)
+            if entry is not None and entry[0].active:
+                out.append((entry[0], node_name))
+        return out
+
+    def revoke_lease(self, lease: Lease, reason: str = "revoked") -> None:
+        """Platform-side cancellation of a single lease (Sec. III-A).
+
+        Unlike :meth:`remove_node` the executor stays registered:
+        in-flight invocations finish, but the client library is notified
+        to redirect further requests to a new lease.
+        """
+        node_name = self._lease_owner.get(lease.lease_id)
+        lease.cancel()
+        self._m_revoked.inc()
+        self.log.emit(self.env.now, "revoke_lease", lease_id=lease.lease_id,
+                      reason=reason)
+        self._tracer.instant(
+            "manager.revoke_lease", track="manager",
+            lease_id=lease.lease_id, reason=reason,
+        )
+        if node_name is None:
+            return
+        registered = self._nodes.get(node_name)
+        if registered is not None:
+            self._release(registered, lease)
 
     def release_lease(self, lease: Lease) -> None:
         """Client returns a lease voluntarily."""

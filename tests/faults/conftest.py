@@ -1,0 +1,32 @@
+"""Shared fixture for fault-injection tests: a small deterministic platform."""
+
+from repro.api import ClusterSpec, Platform
+from repro.containers import Image
+from repro.interference import ResourceDemand
+from repro.network import IBVERBS
+
+MiB = 1024**2
+GiB = 1024**3
+
+
+def build_platform(nodes=5, executors=("n0001", "n0002", "n0003"), plan=None,
+                   seed=0, runtime_s=0.0):
+    """A jitterless platform with hot executor nodes and a ``noop`` function.
+
+    The image is exposed as ``platform.image`` so tests can prewarm or
+    register further functions against it.
+    """
+    platform = Platform.build(
+        ClusterSpec(nodes=nodes, provider=IBVERBS, jitter=0.0),
+        seed=seed, telemetry=True, faults=plan,
+    )
+    for name in executors:
+        platform.register_node(name, cores=4, memory_bytes=8 * GiB)
+    image = Image("fn-image", size_bytes=50 * MiB)
+    platform.functions.register(
+        "noop", image, runtime_s=runtime_s,
+        demand=ResourceDemand(cores=1, membw=0.0, frac_membw=0.0),
+        output_bytes=1,
+    )
+    platform.image = image
+    return platform

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Lint: the public API surface must match the checked-in manifest.
+
+Snapshots the exported surface of the facade and subsystem packages —
+every ``__all__`` name of :mod:`repro.api`, :mod:`repro.faults`, and
+:mod:`repro.rfaas`, with callable signatures and public class members —
+and compares it against ``tools/public_api.json``.  An unreviewed
+signature change, a dropped re-export, or an accidental new export
+fails the suite (``tests/api/test_public_api.py``); an *intentional*
+change is recorded by regenerating the manifest::
+
+    python tools/check_public_api.py            # check (exit 1 on drift)
+    python tools/check_public_api.py --update   # rewrite the manifest
+
+Same role for API shape that ``check_metric_names.py`` plays for metric
+naming: the contract is enforced by CI, not by convention.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+MANIFEST_PATH = REPO_ROOT / "tools" / "public_api.json"
+
+#: Modules whose exported surface is under contract.
+MODULES = ("repro.api", "repro.faults", "repro.rfaas")
+
+
+def _signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (ValueError, TypeError):
+        return "(...)"
+
+
+def _describe_class(cls) -> dict:
+    entry: dict = {"kind": "class", "signature": _signature_of(cls)}
+    methods: dict[str, str] = {}
+    properties: list[str] = []
+    for name, member in sorted(vars(cls).items()):
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            properties.append(name)
+        elif isinstance(member, (classmethod, staticmethod)):
+            methods[name] = _signature_of(member.__func__)
+        elif inspect.isfunction(member):
+            methods[name] = _signature_of(member)
+    if methods:
+        entry["methods"] = methods
+    if properties:
+        entry["properties"] = properties
+    bases = [b.__name__ for b in cls.__bases__ if b is not object]
+    if bases:
+        entry["bases"] = bases
+    return entry
+
+
+def _describe(obj) -> dict:
+    if inspect.isclass(obj):
+        return _describe_class(obj)
+    if inspect.isfunction(obj) or inspect.isbuiltin(obj):
+        return {"kind": "function", "signature": _signature_of(obj)}
+    return {"kind": "value", "type": type(obj).__name__}
+
+
+def snapshot() -> dict:
+    """{module: {exported name: description}} for every contract module."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    import importlib
+
+    surface: dict = {}
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            raise RuntimeError(f"{module_name} has no __all__")
+        surface[module_name] = {
+            name: _describe(getattr(module, name)) for name in sorted(exported)
+        }
+    return surface
+
+
+def load_manifest(path: pathlib.Path = MANIFEST_PATH) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_manifest(surface: dict, path: pathlib.Path = MANIFEST_PATH) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(surface, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def violations() -> list[str]:
+    """Human-readable drift lines; empty when surface == manifest."""
+    current = snapshot()
+    try:
+        recorded = load_manifest()
+    except FileNotFoundError:
+        return [f"manifest missing: {MANIFEST_PATH} (run with --update to create)"]
+    problems: list[str] = []
+    for module_name in sorted(set(current) | set(recorded)):
+        have = current.get(module_name, {})
+        want = recorded.get(module_name, {})
+        for name in sorted(set(have) | set(want)):
+            if name not in want:
+                problems.append(f"{module_name}.{name}: new export not in manifest")
+            elif name not in have:
+                problems.append(f"{module_name}.{name}: recorded export disappeared")
+            elif have[name] != want[name]:
+                problems.append(
+                    f"{module_name}.{name}: surface changed\n"
+                    f"  manifest: {json.dumps(want[name], sort_keys=True)}\n"
+                    f"  current:  {json.dumps(have[name], sort_keys=True)}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite tools/public_api.json from the current surface",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        surface = snapshot()
+        write_manifest(surface)
+        total = sum(len(names) for names in surface.values())
+        print(f"recorded {total} exports across {len(surface)} modules -> {MANIFEST_PATH}")
+        return 0
+    problems = violations()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    total = sum(len(names) for names in snapshot().values())
+    print(f"checked {total} public exports, {len(problems)} drift(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
