@@ -1,0 +1,78 @@
+"""Capacity control plane: reactive vs predictive warm pools under load.
+
+Runs the :mod:`repro.experiments.autoscale_sweep` schedule (with its
+default node-crash storm) at 1x/4x/16x load and records, per load, the
+warm-pool hit rate and p99 latency of the reactive baseline against the
+predictive autoscaler.  Besides the printed table, the comparison is
+written to ``BENCH_autoscale.json`` at the repo root so regressions in
+the predictive advantage are machine-checkable.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import render_table
+from repro.experiments import autoscale_sweep
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_autoscale.json"
+LOADS = (1.0, 4.0, 16.0)
+
+
+def _by_mode(result):
+    pairs = {}
+    for point in result.points:
+        pairs.setdefault(point.load, {})[point.mode] = point
+    return pairs
+
+
+def test_autoscale_predictive_vs_reactive(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: autoscale_sweep.run(loads=LOADS, seed=0),
+        rounds=1, iterations=1,
+    )
+    pairs = _by_mode(result)
+    comparison = []
+    rows = []
+    for load in LOADS:
+        reactive, predictive = pairs[load]["reactive"], pairs[load]["predictive"]
+        comparison.append({
+            "load": load,
+            "reactive": {
+                "warm_start_rate": reactive.warm_start_rate,
+                "p99_ms": reactive.p99_ms,
+                "cold_starts": reactive.cold_starts,
+            },
+            "predictive": {
+                "warm_start_rate": predictive.warm_start_rate,
+                "p99_ms": predictive.p99_ms,
+                "cold_starts": predictive.cold_starts,
+                "prewarms": predictive.prewarms,
+            },
+            "warm_rate_gain": round(
+                predictive.warm_start_rate - reactive.warm_start_rate, 6),
+        })
+        rows.append([
+            f"{load:g}x",
+            f"{reactive.warm_start_rate * 100:.1f}%",
+            f"{predictive.warm_start_rate * 100:.1f}%",
+            f"{reactive.p99_ms:.3f}",
+            f"{predictive.p99_ms:.3f}",
+            predictive.prewarms,
+        ])
+    OUTPUT.write_text(json.dumps({
+        "window_s": result.window_s,
+        "seed": result.seed,
+        "loads": comparison,
+    }, sort_keys=True, indent=2) + "\n", encoding="utf-8")
+    report(render_table(
+        ["load", "reactive warm", "predictive warm",
+         "reactive p99 (ms)", "predictive p99 (ms)", "prewarms"],
+        rows,
+        title="Warm-pool autoscaling — reactive vs predictive (crash storm)",
+    ) + f"\n[comparison -> {OUTPUT.name}]")
+    # The acceptance bar: predictive provisioning beats the reactive
+    # baseline on warm-start rate once load reaches 4x.
+    for entry in comparison:
+        if entry["load"] >= 4.0:
+            assert (entry["predictive"]["warm_start_rate"]
+                    > entry["reactive"]["warm_start_rate"])

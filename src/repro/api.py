@@ -27,10 +27,20 @@ pins a telemetry scope to the environment (``None`` keeps the default
 resolution, so an active :class:`~repro.telemetry.TelemetryCollector` —
 e.g. the CLI's ``--trace`` — still sees the run).
 
+So do the capacity control plane and the cloud baseline: ``capacity=``
+builds a :class:`~repro.capacity.CapacityPlane` (forecast → autoscale →
+admit → burst) in front of the manager, and ``cloud=`` configures the
+:class:`~repro.cloudfaas.CloudFaaSPlatform` reachable at
+``platform.cloud`` (built lazily on first use otherwise).  A
+:class:`~repro.disagg.DisaggregationController` bridging a batch
+scheduler onto this platform's manager comes from
+:meth:`Platform.attach_controller`.
+
 Determinism: ``Platform.build(spec, seed=s)`` derives the fabric rng
-from ``s``, the manager rng from ``s + 1``, and the injector rng from
-``s + 2`` — the same fan-out the experiments used before the facade, so
-ported experiments reproduce their historical numbers exactly.
+from ``s``, the manager rng from ``s + 1``, the injector rng from
+``s + 2``, and the cloud-gateway rng from ``s + 3`` — the first three
+are the same fan-out the experiments used before the facade, so ported
+experiments reproduce their historical numbers exactly.
 """
 
 from __future__ import annotations
@@ -40,7 +50,10 @@ from typing import Any, Optional
 
 import numpy as np
 
+from .capacity import CapacityConfig, CapacityPlane
+from .cloudfaas import CloudConfig, CloudFaaSPlatform
 from .cluster import Cluster, DAINT_MC, DragonflyTopology, NodeSpec
+from .disagg import ControllerConfig, DisaggregationController
 from .faults import FaultPlan, Injector
 from .network import DrcManager, FabricProvider, NetworkFabric, UGNI
 from .rfaas import (
@@ -93,6 +106,7 @@ class Platform:
         spec: ClusterSpec,
         seed: int,
         injector: Optional[Injector] = None,
+        cloud_config: Optional[CloudConfig] = None,
     ):
         self.env = env
         self.cluster = cluster
@@ -104,6 +118,10 @@ class Platform:
         self.spec = spec
         self.seed = seed
         self.injector = injector
+        self.capacity: Optional[CapacityPlane] = None
+        self._cloud: Optional[CloudFaaSPlatform] = None
+        self._cloud_config = cloud_config
+        self._controller: Optional[DisaggregationController] = None
 
     @classmethod
     def build(
@@ -112,6 +130,8 @@ class Platform:
         seed: int = 0,
         telemetry: Any = None,
         faults: Optional[FaultPlan] = None,
+        capacity: Any = None,
+        cloud: Any = None,
     ) -> "Platform":
         """Construct environment, cluster, fabric, manager, and registry.
 
@@ -125,6 +145,16 @@ class Platform:
         seeded :class:`Injector` that is started immediately, so its
         faults fire as the simulation runs.  An empty or absent plan
         changes nothing about the run.
+
+        ``cloud`` configures the FaaS baseline at ``platform.cloud``:
+        ``None`` builds one lazily on first access with defaults,
+        ``True`` builds it eagerly, a :class:`CloudConfig` builds it
+        eagerly with that config.  ``capacity`` does the same for the
+        capacity plane at ``platform.capacity``: ``None`` means no
+        plane, ``True`` a default :class:`CapacityConfig`, or pass a
+        :class:`CapacityConfig`.  The plane's autoscaler loop is started
+        immediately; call ``platform.capacity.stop()`` before draining
+        the event queue with an open-ended ``run()``.
         """
         spec = cluster_spec if cluster_spec is not None else ClusterSpec()
         env = Environment()
@@ -161,17 +191,74 @@ class Platform:
         if faults is not None and not faults.empty:
             injector = Injector(env, faults, manager, fabric=fabric, seed=seed + 2)
             injector.start()
-        return cls(
+        cloud_config: Optional[CloudConfig] = None
+        build_cloud = False
+        if isinstance(cloud, CloudConfig):
+            cloud_config, build_cloud = cloud, True
+        elif cloud is True:
+            build_cloud = True
+        elif cloud is not None:
+            raise TypeError("cloud must be None, True, or a CloudConfig")
+        platform = cls(
             env=env, cluster=cluster, drc=drc, fabric=fabric, loads=loads,
             manager=manager, functions=functions, spec=spec, seed=seed,
-            injector=injector,
+            injector=injector, cloud_config=cloud_config,
         )
+        if build_cloud:
+            platform.cloud  # noqa: B018 - force eager construction
+        if capacity is not None:
+            if capacity is True:
+                capacity = CapacityConfig()
+            elif not isinstance(capacity, CapacityConfig):
+                raise TypeError("capacity must be None, True, or a CapacityConfig")
+            platform.capacity = CapacityPlane(
+                env, manager, cluster, functions,
+                cloud=platform.cloud if capacity.burst_enabled else None,
+                config=capacity,
+            )
+            platform.capacity.start()
+        return platform
 
     # -- conveniences -------------------------------------------------------
     @property
     def telemetry(self):
         """The telemetry handle of this platform's environment."""
         return telemetry_of(self.env)
+
+    @property
+    def cloud(self) -> CloudFaaSPlatform:
+        """The cloud FaaS baseline (built lazily; gateway rng = seed + 3)."""
+        if self._cloud is None:
+            self._cloud = CloudFaaSPlatform(
+                self.env, config=self._cloud_config,
+                rng=np.random.default_rng(self.seed + 3),
+            )
+        return self._cloud
+
+    @property
+    def controller(self) -> Optional[DisaggregationController]:
+        """The attached disaggregation controller (None until attached)."""
+        return self._controller
+
+    def attach_controller(
+        self,
+        scheduler,
+        config: Optional[ControllerConfig] = None,
+        demand_resolver=None,
+    ) -> DisaggregationController:
+        """Bridge a batch scheduler onto this platform's manager.
+
+        Builds (once) the :class:`DisaggregationController` that turns
+        the scheduler's job events into ``register_node``/``remove_node``
+        calls — the wiring every harvest experiment used to do by hand.
+        """
+        if self._controller is not None:
+            raise RuntimeError("a controller is already attached")
+        self._controller = DisaggregationController(
+            scheduler, self.manager, config=config,
+            demand_resolver=demand_resolver,
+        )
+        return self._controller
 
     def register_node(self, node_name: str, **kwargs):
         """Donate a node's spare capacity (see ``ResourceManager.register_node``)."""

@@ -1,0 +1,128 @@
+"""Cloud-burst overflow routing.
+
+The paper prices harvested HPC capacity against commercial FaaS; the
+burst router turns that comparison into a runtime mechanism.  When an
+invocation is *admitted* (it passed the quota gate — the platform owes it
+an answer) but *unplaceable* (the harvested pool has no room and the
+retry budget is spent), the router executes it on the
+:class:`~repro.cloudfaas.CloudFaaSPlatform` baseline instead of dropping
+it, and accounts what that cost through :mod:`repro.disagg.billing` —
+the "cost delta" of not having enough spare supercomputer.
+
+Functions are registered with the cloud platform lazily on first
+overflow, mirroring a deploy-on-demand bridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cloudfaas.platform import CloudFaaSPlatform, CloudInvocation
+from ..disagg.billing import FunctionBill
+from ..rfaas.registry import FunctionDef
+from ..sim.engine import Environment
+from ..telemetry import telemetry_of
+
+__all__ = ["BurstConfig", "BurstRecord", "CloudBurstRouter"]
+
+
+@dataclass(frozen=True)
+class BurstConfig:
+    """Pricing of overflow capacity relative to the harvested pool."""
+
+    #: Commercial FaaS price premium over harvested core-hours.
+    premium: float = 3.0
+    core_hour_price: float = 1.0
+    gib_hour_price: float = 0.05
+    #: Cores billed per cloud invocation (cloud functions are 1-vCPU here).
+    billed_cores: int = 1
+
+    def __post_init__(self):
+        if self.premium <= 0 or self.core_hour_price < 0 or self.gib_hour_price < 0:
+            raise ValueError("invalid pricing")
+        if self.billed_cores < 1:
+            raise ValueError("billed_cores must be >= 1")
+
+
+@dataclass(frozen=True)
+class BurstRecord:
+    """One overflow invocation: the cloud breakdown plus its bill."""
+
+    invocation: CloudInvocation
+    cost: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.invocation.total_s
+
+
+class CloudBurstRouter:
+    """Sends admitted-but-unplaceable invocations to the cloud baseline."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cloud: CloudFaaSPlatform,
+        config: Optional[BurstConfig] = None,
+    ):
+        self.env = env
+        self.cloud = cloud
+        self.config = config or BurstConfig()
+        self._registered: set[str] = set()
+        self.bursts = 0
+        self.total_cost = 0.0
+        telemetry = telemetry_of(env)
+        self._tracer = telemetry.tracer
+        metrics = telemetry.metrics
+        self._m_bursts = metrics.counter(
+            "repro_capacity_bursts_total",
+            help="invocations overflowed to the cloud baseline",
+        )
+        self._m_cost = metrics.counter(
+            "repro_capacity_burst_cost_total",
+            help="accumulated cloud-burst bill (currency units)",
+        )
+        self._m_latency = metrics.histogram(
+            "repro_capacity_burst_seconds",
+            help="end-to-end latency of cloud-burst invocations",
+        )
+
+    def _ensure_registered(self, fdef: FunctionDef) -> None:
+        if fdef.name in self._registered:
+            return
+        self.cloud.register(fdef.name, fdef.image)
+        self._registered.add(fdef.name)
+
+    def burst(self, fdef: FunctionDef, payload_bytes: int = 0):
+        """Process body (``yield from``): run ``fdef`` on the cloud.
+
+        Returns a :class:`BurstRecord`; the bill is the cloud run billed
+        at the configured premium over harvested-pool prices.
+        """
+        self._ensure_registered(fdef)
+        record: CloudInvocation = yield self.cloud.invoke(
+            fdef.name,
+            payload_bytes=payload_bytes,
+            runtime_s=fdef.runtime_s,
+            output_bytes=fdef.output_bytes,
+        )
+        bill = FunctionBill(
+            cores=self.config.billed_cores,
+            memory_bytes=fdef.image.runtime_memory_bytes + fdef.memory_bytes,
+            duration_s=record.total_s,
+            core_hour_price=self.config.core_hour_price * self.config.premium,
+            gib_hour_price=self.config.gib_hour_price * self.config.premium,
+        )
+        cost = bill.cost()
+        self.bursts += 1
+        self.total_cost += cost
+        self._m_bursts.inc()
+        self._m_cost.inc(cost)
+        self._m_latency.observe(record.total_s)
+        self._tracer.instant(
+            "capacity.burst", track="capacity",
+            function=fdef.name, cold=record.cold,
+            latency_s=record.total_s, cost=cost,
+        )
+        return BurstRecord(invocation=record, cost=cost)

@@ -9,6 +9,8 @@ Usage::
     python -m repro telemetry summary trace.json
     python -m repro chaos --rates 0,8,16 --seed 1
     python -m repro chaos --plan plan.json --spans spans.jsonl
+    python -m repro autoscale --loads 1,4,16 --json autoscale.json
+    python -m repro autoscale --no-crash --window 30
 
 ``--set key=value`` pairs are parsed as Python literals and forwarded to
 the experiment's ``run()``.  ``--trace`` writes a Chrome ``trace_event``
@@ -27,6 +29,7 @@ import time
 from typing import Any, Callable
 
 from .experiments import (
+    autoscale_sweep,
     chaos_sweep,
     fig01_utilization,
     fig07_latency,
@@ -62,6 +65,7 @@ EXPERIMENTS: dict[str, tuple[Any, str]] = {
     "fig12": (fig12_gpu_sharing, "GPU co-location overheads"),
     "fig13": (fig13_offloading, "real offloading: Black-Scholes + MC transport"),
     "chaos": (chaos_sweep, "invocation latency under injected faults"),
+    "autoscale": (autoscale_sweep, "predictive vs reactive warm pools under load"),
 }
 
 
@@ -141,7 +145,31 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         "--window", type=float, default=30.0, metavar="SECONDS",
         help="simulated measurement window per scenario",
     )
-    for tel_parser in (chaos_parser,):
+    autoscale_parser = sub.add_parser(
+        "autoscale", help="capacity sweep: predictive vs reactive warm pools",
+    )
+    autoscale_parser.add_argument(
+        "--loads", default=None, metavar="L1,L2,...",
+        help="comma-separated load multipliers (default 1,4,16)",
+    )
+    autoscale_parser.add_argument("--seed", type=int, default=0)
+    autoscale_parser.add_argument(
+        "--window", type=float, default=20.0, metavar="SECONDS",
+        help="simulated arrival window per scenario",
+    )
+    autoscale_parser.add_argument(
+        "--plan", metavar="FILE", default=None,
+        help="JSON FaultPlan to replay (instead of the built-in crash storm)",
+    )
+    autoscale_parser.add_argument(
+        "--no-crash", action="store_true",
+        help="disable the default node-crash storm",
+    )
+    autoscale_parser.add_argument(
+        "--json", metavar="FILE", default=None, dest="json_out",
+        help="write the machine-readable sweep result as JSON",
+    )
+    for tel_parser in (chaos_parser, autoscale_parser):
         tel_parser.add_argument("--trace", metavar="FILE", default=None,
                                 help="write a Chrome trace_event JSON of the run")
         tel_parser.add_argument("--spans", metavar="FILE", default=None,
@@ -198,6 +226,43 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
             result = chaos_sweep.run(**kwargs)
         out(chaos_sweep.format_report(result))
         out(f"[chaos completed in {time.perf_counter() - t0:.2f}s]\n")
+        if collector is not None:
+            _export_telemetry(collector, args, out)
+        return 0
+
+    if args.command == "autoscale":
+        kwargs = {"seed": args.seed, "window_s": args.window}
+        if args.loads:
+            try:
+                kwargs["loads"] = tuple(float(l) for l in args.loads.split(","))
+            except ValueError:
+                parser.error(f"--loads expects comma-separated numbers, got {args.loads!r}")
+        if args.plan:
+            if args.no_crash:
+                parser.error("--plan and --no-crash are mutually exclusive")
+            try:
+                kwargs["plan"] = FaultPlan.load(args.plan)
+            except (OSError, ValueError, TypeError, KeyError) as exc:
+                parser.error(f"cannot load fault plan: {exc}")
+        if args.no_crash:
+            kwargs["crash"] = False
+        collector = (TelemetryCollector()
+                     if args.trace or args.spans or args.metrics_out else None)
+        t0 = time.perf_counter()
+        if collector is not None:
+            with collector:
+                result = autoscale_sweep.run(**kwargs)
+        else:
+            result = autoscale_sweep.run(**kwargs)
+        out(autoscale_sweep.format_report(result))
+        out(f"[autoscale completed in {time.perf_counter() - t0:.2f}s]\n")
+        if args.json_out:
+            try:
+                with open(args.json_out, "w", encoding="utf-8") as fh:
+                    fh.write(result.to_json() + "\n")
+            except OSError as exc:
+                parser.error(f"cannot write JSON output: {exc}")
+            out(f"[json -> {args.json_out}]")
         if collector is not None:
             _export_telemetry(collector, args, out)
         return 0

@@ -119,6 +119,10 @@ class WarmPool:
     def swapped_count(self) -> int:
         return len(self._swapped)
 
+    def warm_count_for(self, image_name: str) -> int:
+        """Resident warm containers for ``image_name`` (autoscaler signal)."""
+        return sum(1 for c in self._warm.values() if c.image.name == image_name)
+
     def resident_bytes(self) -> int:
         return sum(c.image.runtime_memory_bytes for c in self._warm.values())
 

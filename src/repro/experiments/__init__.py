@@ -6,6 +6,8 @@ rows/series the paper reports.  See DESIGN.md for the experiment index.
 """
 
 from . import (
+    autoscale_sweep,
+    chaos_sweep,
     fig01_utilization,
     fig07_latency,
     fig08_storage,
@@ -18,6 +20,8 @@ from . import (
 )
 
 __all__ = [
+    "autoscale_sweep",
+    "chaos_sweep",
     "fig01_utilization",
     "fig07_latency",
     "fig08_storage",

@@ -2,6 +2,7 @@
 
 from .client import RFaaSClient
 from .errors import (
+    AdmissionRejected,
     InvocationTimeout,
     LeaseRevokedError,
     NoCapacityError,
@@ -23,6 +24,7 @@ __all__ = [
     "TerminationError",
     "LeaseRevokedError",
     "InvocationTimeout",
+    "AdmissionRejected",
     "Lease",
     "LeaseState",
     "NodeLoadRegistry",

@@ -181,6 +181,24 @@ class RFaaSClient:
                 guard.succeed()
             return
 
+    def release_lease(self) -> None:
+        """Voluntarily give the current lease (and connection) back.
+
+        Unlike :meth:`close` the client stays usable: the next invocation
+        re-leases.  The capacity plane calls this when a tenant goes
+        idle, so held-but-unused executor cores return to the pool
+        instead of starving other tenants into the cloud.
+        """
+        if self._closed or self._lease is None:
+            return
+        if self._lease.active:
+            self.manager.release_lease(self._lease)
+        if self._connection is not None:
+            self._retire(self._connection)
+        self._lease = None
+        self._executor = None
+        self._connection = None
+
     def close(self) -> None:
         """Release the lease and connection; safe to call more than once.
 

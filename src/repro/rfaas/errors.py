@@ -10,8 +10,11 @@ Every failure the platform reports to user code derives from
     │                         (carries ``checkpoint_s`` + ``cause``)
     ├── LeaseRevokedError     a lease was cancelled by the platform
     │                         before/while the client was using it
-    └── InvocationTimeout     the client-side invocation deadline
-                              (``RetryPolicy.timeout_s``) elapsed
+    ├── InvocationTimeout     the client-side invocation deadline
+    │                         (``RetryPolicy.timeout_s``) elapsed
+    └── AdmissionRejected     the capacity plane's admission gate said
+                              no before any resources were touched
+                              (carries ``reason`` + ``tenant``)
 
 ``NoCapacityError`` and ``TerminationError`` predate this module and are
 re-exported from their historical homes (``repro.rfaas.manager`` and
@@ -34,6 +37,7 @@ __all__ = [
     "TerminationError",
     "LeaseRevokedError",
     "InvocationTimeout",
+    "AdmissionRejected",
 ]
 
 
@@ -77,3 +81,20 @@ class InvocationTimeout(RFaaSError):
         super().__init__(message)
         self.elapsed_s = elapsed_s
         self.attempts = attempts
+
+
+class AdmissionRejected(RFaaSError):
+    """The admission controller refused the invocation up front.
+
+    Explicit backpressure from the capacity plane (:mod:`repro.capacity`):
+    no lease was attempted and no resources were touched.  ``reason`` is
+    ``"queue_full"`` (bounded admission queue at depth) or ``"timeout"``
+    (queued past the configured wait bound); ``tenant`` names whose quota
+    the request was charged against.
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full",
+                 tenant: Optional[str] = None):
+        super().__init__(message)
+        self.reason = reason
+        self.tenant = tenant

@@ -95,6 +95,56 @@ def test_execution_time_added():
     assert record.total_s > 0.5
 
 
+def test_inline_limit_is_a_strict_boundary():
+    """Edge path the burst router rides: == limit inline, limit+1 detours."""
+    env, platform = make_platform()
+    invoke(env, platform)  # warm it
+    limit = platform.config.inline_payload_limit
+    at_limit = invoke(env, platform, payload_bytes=limit)
+    over = invoke(env, platform, payload_bytes=limit + 1)
+    assert at_limit.storage_s == 0.0
+    assert over.storage_s > 0.0
+
+
+def test_detour_cost_is_two_object_store_round_trips():
+    """storage_s is exactly 2x single_read_time per oversized direction."""
+    env, platform = make_platform()
+    invoke(env, platform)
+    payload = 32 * MiB
+    output = 8 * MiB
+    expected = (2 * platform.storage.single_read_time(payload)
+                + 2 * platform.storage.single_read_time(output))
+    record = invoke(env, platform, payload_bytes=payload, output_bytes=output)
+    assert record.storage_s == pytest.approx(expected)
+    # The detour dwarfs the gateway hops at this size.
+    assert record.storage_s > record.gateway_s
+
+
+def test_keepalive_purge_then_recovery_counters():
+    """purge -> cold start -> warm again; counters track the sequence."""
+    env, platform = make_platform(keepalive_s=50.0)
+    records = []
+
+    def proc():
+        for gap in (0.0, 10.0, 100.0, 1.0):
+            if gap:
+                yield env.timeout(gap)
+            record = yield platform.invoke("fn")
+            records.append(record)
+
+    env.process(proc())
+    env.run()
+    first, warm, purged, rewarmed = records
+    assert [r.cold for r in records] == [True, False, True, False]
+    image = platform._functions["fn"]
+    assert purged.startup_s == pytest.approx(
+        platform.config.runtime.cold_start_time(image))
+    assert rewarmed.startup_s == pytest.approx(
+        platform.config.runtime.warm_attach_s)
+    assert platform.cold_starts == 2
+    assert platform.warm_invocations == 2
+
+
 def test_validation():
     env, platform = make_platform()
     with pytest.raises(KeyError):

@@ -4,7 +4,10 @@
 Every metric registered anywhere in ``src/repro`` — a string literal
 passed to ``.counter(`` / ``.gauge(`` / ``.histogram(`` — must match
 ``repro_<subsystem>_<name>_<unit>`` with the unit drawn from the closed
-set in :data:`repro.telemetry.metrics.METRIC_UNITS`.  Run standalone::
+set in :data:`repro.telemetry.metrics.METRIC_UNITS` and the subsystem
+from :data:`KNOWN_SUBSYSTEMS` (a new subsystem namespace is an API
+decision: add it to the set here in the same PR that introduces it).
+Run standalone::
 
     python tools/check_metric_names.py
 
@@ -20,6 +23,16 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Subsystem namespaces metrics may live in (``repro_<subsystem>_...``).
+KNOWN_SUBSYSTEMS = frozenset({
+    "capacity",    # capacity control plane: forecast/autoscale/admit/burst
+    "executor",
+    "faults",
+    "manager",
+    "scheduler",
+    "warmpool",
+})
 
 _REGISTRATION = re.compile(
     r"""\.(?:counter|gauge|histogram)\(\s*\n?\s*(?P<quote>["'])(?P<name>[^"']+)(?P=quote)"""
@@ -49,6 +62,13 @@ def violations(root: pathlib.Path = SRC_ROOT) -> list[str]:
     for path, line, name in find_metric_names(root):
         if not METRIC_NAME_RE.match(name):
             bad.append(f"{path}:{line}: {name!r} violates repro_<subsystem>_<name>_<unit>")
+            continue
+        subsystem = name.split("_", 2)[1]
+        if subsystem not in KNOWN_SUBSYSTEMS:
+            bad.append(
+                f"{path}:{line}: {name!r} uses unknown subsystem {subsystem!r}"
+                " (add it to KNOWN_SUBSYSTEMS if intentional)"
+            )
     return bad
 
 
