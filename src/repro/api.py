@@ -55,6 +55,11 @@ from .cloudfaas import CloudConfig, CloudFaaSPlatform
 from .cluster import Cluster, DAINT_MC, DragonflyTopology, NodeSpec
 from .disagg import ControllerConfig, DisaggregationController
 from .faults import FaultPlan, Injector
+from .memservice import (
+    DurableMemoryClient,
+    DurableMemoryConfig,
+    ReplicatedMemoryService,
+)
 from .network import DrcManager, FabricProvider, NetworkFabric, UGNI
 from .rfaas import (
     FunctionRegistry,
@@ -107,6 +112,7 @@ class Platform:
         seed: int,
         injector: Optional[Injector] = None,
         cloud_config: Optional[CloudConfig] = None,
+        durable_memory: Optional[ReplicatedMemoryService] = None,
     ):
         self.env = env
         self.cluster = cluster
@@ -118,6 +124,7 @@ class Platform:
         self.spec = spec
         self.seed = seed
         self.injector = injector
+        self.durable_memory = durable_memory
         self.capacity: Optional[CapacityPlane] = None
         self._cloud: Optional[CloudFaaSPlatform] = None
         self._cloud_config = cloud_config
@@ -132,6 +139,7 @@ class Platform:
         faults: Optional[FaultPlan] = None,
         capacity: Any = None,
         cloud: Any = None,
+        durable_memory: Any = None,
     ) -> "Platform":
         """Construct environment, cluster, fabric, manager, and registry.
 
@@ -155,6 +163,15 @@ class Platform:
         :class:`CapacityConfig`.  The plane's autoscaler loop is started
         immediately; call ``platform.capacity.stop()`` before draining
         the event queue with an open-ended ``run()``.
+
+        ``durable_memory`` builds the replicated memory service at
+        ``platform.durable_memory``: ``True`` with defaults, or pass a
+        :class:`~repro.memservice.DurableMemoryConfig`.  The service is
+        started (chunks placed and allocated), subscribed to the
+        manager's reclaim events, and handed to the fault injector so
+        ``memservice_kill`` events find it.  Its repair loop ticks
+        forever — call ``platform.durable_memory.stop()`` before
+        draining the event queue with an open-ended ``run()``.
         """
         spec = cluster_spec if cluster_spec is not None else ClusterSpec()
         env = Environment()
@@ -187,9 +204,25 @@ class Platform:
             rng=np.random.default_rng(seed + 1),
         )
         functions = FunctionRegistry()
+        durable = None
+        if durable_memory is not None:
+            if durable_memory is True:
+                durable_config = DurableMemoryConfig()
+            elif isinstance(durable_memory, DurableMemoryConfig):
+                durable_config = durable_memory
+            else:
+                raise TypeError(
+                    "durable_memory must be None, True, or a DurableMemoryConfig"
+                )
+            durable = ReplicatedMemoryService(
+                env, cluster, fabric, config=durable_config, loads=loads,
+            )
+            durable.attach_manager(manager)
+            durable.start()
         injector = None
         if faults is not None and not faults.empty:
-            injector = Injector(env, faults, manager, fabric=fabric, seed=seed + 2)
+            injector = Injector(env, faults, manager, fabric=fabric,
+                                seed=seed + 2, memservice=durable)
             injector.start()
         cloud_config: Optional[CloudConfig] = None
         build_cloud = False
@@ -203,6 +236,7 @@ class Platform:
             env=env, cluster=cluster, drc=drc, fabric=fabric, loads=loads,
             manager=manager, functions=functions, spec=spec, seed=seed,
             injector=injector, cloud_config=cloud_config,
+            durable_memory=durable,
         )
         if build_cloud:
             platform.cloud  # noqa: B018 - force eager construction
@@ -269,6 +303,18 @@ class Platform:
         return RFaaSClient(
             self.env, self.manager, self.fabric, self.functions,
             client_node=node, **kwargs,
+        )
+
+    def memory_client(self, node: str, user: str = "app") -> DurableMemoryClient:
+        """A failover-aware client of the durable memory service."""
+        if self.durable_memory is None:
+            raise RuntimeError(
+                "platform was built without durable_memory; pass "
+                "durable_memory=True (or a DurableMemoryConfig) to build()"
+            )
+        return DurableMemoryClient(
+            self.env, self.fabric, self.durable_memory, client_node=node,
+            user=user,
         )
 
     def process(self, generator, name: Optional[str] = None):

@@ -11,6 +11,8 @@ Usage::
     python -m repro chaos --plan plan.json --spans spans.jsonl
     python -m repro autoscale --loads 1,4,16 --json autoscale.json
     python -m repro autoscale --no-crash --window 30
+    python -m repro chaos --memservice
+    python -m repro memdurability --factors 1,2,3 --json memdurability.json
 
 ``--set key=value`` pairs are parsed as Python literals and forwarded to
 the experiment's ``run()``.  ``--trace`` writes a Chrome ``trace_event``
@@ -39,6 +41,7 @@ from .experiments import (
     fig11_memory_sharing,
     fig12_gpu_sharing,
     fig13_offloading,
+    memdurability_sweep,
     tab03_idle_node,
 )
 from .faults import FaultPlan
@@ -66,6 +69,7 @@ EXPERIMENTS: dict[str, tuple[Any, str]] = {
     "fig13": (fig13_offloading, "real offloading: Black-Scholes + MC transport"),
     "chaos": (chaos_sweep, "invocation latency under injected faults"),
     "autoscale": (autoscale_sweep, "predictive vs reactive warm pools under load"),
+    "memdurability": (memdurability_sweep, "replicated memory service under a crash+drain storm"),
 }
 
 
@@ -145,6 +149,11 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         "--window", type=float, default=30.0, metavar="SECONDS",
         help="simulated measurement window per scenario",
     )
+    chaos_parser.add_argument(
+        "--memservice", action="store_true",
+        help="co-run a remote-paging stream on a replicated (k=2) memory "
+             "service, so the storm also exercises durable-memory failover",
+    )
     autoscale_parser = sub.add_parser(
         "autoscale", help="capacity sweep: predictive vs reactive warm pools",
     )
@@ -169,7 +178,28 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         "--json", metavar="FILE", default=None, dest="json_out",
         help="write the machine-readable sweep result as JSON",
     )
-    for tel_parser in (chaos_parser, autoscale_parser):
+    memdur_parser = sub.add_parser(
+        "memdurability",
+        help="durable-memory sweep: replication factors under a crash+drain storm",
+    )
+    memdur_parser.add_argument(
+        "--factors", default=None, metavar="K1,K2,...",
+        help="comma-separated replication factors (default 1,2,3)",
+    )
+    memdur_parser.add_argument("--seed", type=int, default=0)
+    memdur_parser.add_argument(
+        "--window", type=float, default=20.0, metavar="SECONDS",
+        help="simulated paging window per factor",
+    )
+    memdur_parser.add_argument(
+        "--accesses", type=int, default=400,
+        help="pager accesses replayed per factor",
+    )
+    memdur_parser.add_argument(
+        "--json", metavar="FILE", default=None, dest="json_out",
+        help="write the machine-readable sweep result as JSON",
+    )
+    for tel_parser in (chaos_parser, autoscale_parser, memdur_parser):
         tel_parser.add_argument("--trace", metavar="FILE", default=None,
                                 help="write a Chrome trace_event JSON of the run")
         tel_parser.add_argument("--spans", metavar="FILE", default=None,
@@ -203,7 +233,8 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         return 0
 
     if args.command == "chaos":
-        kwargs: dict[str, Any] = {"seed": args.seed, "window_s": args.window}
+        kwargs: dict[str, Any] = {"seed": args.seed, "window_s": args.window,
+                                  "memservice": args.memservice}
         if args.plan:
             try:
                 kwargs["plan"] = FaultPlan.load(args.plan)
@@ -226,6 +257,35 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
             result = chaos_sweep.run(**kwargs)
         out(chaos_sweep.format_report(result))
         out(f"[chaos completed in {time.perf_counter() - t0:.2f}s]\n")
+        if collector is not None:
+            _export_telemetry(collector, args, out)
+        return 0
+
+    if args.command == "memdurability":
+        kwargs = {"seed": args.seed, "window_s": args.window,
+                  "accesses": args.accesses}
+        if args.factors:
+            try:
+                kwargs["factors"] = tuple(int(k) for k in args.factors.split(","))
+            except ValueError:
+                parser.error(f"--factors expects comma-separated integers, got {args.factors!r}")
+        collector = (TelemetryCollector()
+                     if args.trace or args.spans or args.metrics_out else None)
+        t0 = time.perf_counter()
+        if collector is not None:
+            with collector:
+                result = memdurability_sweep.run(**kwargs)
+        else:
+            result = memdurability_sweep.run(**kwargs)
+        out(memdurability_sweep.format_report(result))
+        out(f"[memdurability completed in {time.perf_counter() - t0:.2f}s]\n")
+        if args.json_out:
+            try:
+                with open(args.json_out, "w", encoding="utf-8") as fh:
+                    fh.write(result.to_json() + "\n")
+            except OSError as exc:
+                parser.error(f"cannot write JSON output: {exc}")
+            out(f"[json -> {args.json_out}]")
         if collector is not None:
             _export_telemetry(collector, args, out)
         return 0

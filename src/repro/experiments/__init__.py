@@ -16,12 +16,14 @@ from . import (
     fig11_memory_sharing,
     fig12_gpu_sharing,
     fig13_offloading,
+    memdurability_sweep,
     tab03_idle_node,
 )
 
 __all__ = [
     "autoscale_sweep",
     "chaos_sweep",
+    "memdurability_sweep",
     "fig01_utilization",
     "fig07_latency",
     "fig08_storage",

@@ -30,6 +30,8 @@ from ..api import ClusterSpec, Platform
 from ..containers import Image
 from ..faults import FaultPlan, RecoveryOutcome, RetryPolicy
 from ..interference import ResourceDemand
+from ..memservice import DurableMemoryConfig, RemotePager
+from ..rfaas.errors import DataLossError, MemoryServiceUnavailable
 from ..telemetry import NULL_TELEMETRY, telemetry_of
 
 __all__ = ["ChaosPoint", "ChaosResult", "default_plan", "run", "format_report"]
@@ -109,14 +111,24 @@ def _metric_sum(registry, name: str) -> float:
 
 
 def _scenario(plan: FaultPlan, window_s: float, seed: int,
-              runtime_s: float, payload_bytes: int, streams: int) -> ChaosPoint:
+              runtime_s: float, payload_bytes: int, streams: int,
+              memservice: bool = False) -> ChaosPoint:
     # Join an active TelemetryCollector (the CLI's --trace/--spans) when
     # there is one; otherwise pin a private scope so the recovery
     # metrics in the report are collected either way.
     collector_active = telemetry_of(None) is not NULL_TELEMETRY
+    durable = None
+    if memservice:
+        # Small k=2 buffer across the executor nodes: the same crash
+        # storm then also destroys chunk replicas, exercising migration,
+        # repair, and read failover alongside invocation recovery.
+        durable = DurableMemoryConfig(
+            size_bytes=24 * MiB, chunk_bytes=8 * MiB, replication=2,
+            repair_interval_s=0.5, hosts=("n0001", "n0002", "n0003"),
+        )
     platform = Platform.build(ClusterSpec(nodes=4), seed=seed,
                               telemetry=(None if collector_active else True),
-                              faults=plan)
+                              faults=plan, durable_memory=durable)
     env = platform.env
     for i in range(1, 4):
         platform.register_node(f"n{i:04d}", cores=4, memory_bytes=8 * GiB)
@@ -136,6 +148,26 @@ def _scenario(plan: FaultPlan, window_s: float, seed: int,
 
     for _ in range(streams):
         platform.process(stream())
+    if durable is not None:
+        memory_client = platform.memory_client("n0000", user="chaos-pager")
+        pager = RemotePager(env, memory_client, page_bytes=2 * MiB,
+                            resident_pages=4)
+
+        def paging():
+            page = 0
+            while env.now < window_s:
+                yield env.timeout(0.05)
+                try:
+                    yield pager.touch(page % pager.total_pages,
+                                      dirty=(page % 2 == 0))
+                except (DataLossError, MemoryServiceUnavailable):
+                    pass  # durability outcomes are the memdurability sweep's job
+                page += 1
+
+        platform.process(paging())
+    platform.run_until(window_s + 30.0)
+    if platform.durable_memory is not None:
+        platform.durable_memory.stop()
     platform.run()
 
     latencies = [d.elapsed_s for d in outcomes if d.ok]
@@ -168,8 +200,14 @@ def run(
     payload_bytes: int = 1024,
     streams: int = 2,
     plan: FaultPlan = None,
+    memservice: bool = False,
 ) -> ChaosResult:
-    """The sweep; pass ``plan`` to run one explicit plan instead of rates."""
+    """The sweep; pass ``plan`` to run one explicit plan instead of rates.
+
+    ``memservice=True`` co-runs a remote-paging stream on a replicated
+    (k=2) memory service, so the same storms also hit durable-memory
+    chunks (``repro chaos --memservice``).
+    """
     if window_s <= 0:
         raise ValueError("window_s must be positive")
     result = ChaosResult(window_s=window_s, seed=seed)
@@ -177,7 +215,8 @@ def run(
              else [default_plan(rate, window_s) for rate in rates])
     for scenario_plan in plans:
         result.points.append(
-            _scenario(scenario_plan, window_s, seed, runtime_s, payload_bytes, streams)
+            _scenario(scenario_plan, window_s, seed, runtime_s, payload_bytes,
+                      streams, memservice=memservice)
         )
     return result
 

@@ -5,8 +5,10 @@ order and applies each fault through the *public hooks* of the layer it
 targets — ``ResourceManager.remove_node`` / ``revoke_lease`` for
 crashes and revocation storms, the fabric's
 :class:`~repro.network.transport.LinkConditioner` for degradation and
-partitions, ``Executor.dispatch_multiplier`` for stragglers, and
-``WarmPool.evict_fraction`` for memory pressure.  Nothing is
+partitions, ``Executor.dispatch_multiplier`` for stragglers,
+``WarmPool.evict_fraction`` for memory pressure, and
+``ReplicatedMemoryService.kill_node`` for durable-memory replica
+destruction.  Nothing is
 monkeypatched, so a fault-injected run exercises exactly the code paths
 a real reclamation would.
 
@@ -44,11 +46,13 @@ class Injector:
         fabric=None,                  # NetworkFabric, for network faults
         rng: Optional[np.random.Generator] = None,
         seed: int = 0,
+        memservice=None,              # ReplicatedMemoryService, for memservice faults
     ):
         self.env = env
         self.plan = plan
         self.manager = manager
         self.fabric = fabric
+        self.memservice = memservice
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self._process: Optional[Process] = None
         #: (time, kind, target) triples of faults actually applied.
@@ -127,6 +131,7 @@ class Injector:
             FaultKind.NETWORK_PARTITION: self._apply_network_partition,
             FaultKind.STRAGGLER: self._apply_straggler,
             FaultKind.WARMPOOL_PRESSURE: self._apply_warmpool_pressure,
+            FaultKind.MEMSERVICE_KILL: self._apply_memservice_kill,
         }[event.kind]
         handler(event)
 
@@ -235,3 +240,27 @@ class Injector:
         pool = self.manager.node_info(node).warm_pool
         freed = pool.evict_fraction(event.magnitude, swap=event.swap)
         self._note(event, node, fraction=event.magnitude, freed_bytes=freed)
+
+    def _apply_memservice_kill(self, event: FaultEvent) -> None:
+        """Destroy every durable-memory replica on one hosting node.
+
+        The victim comes from the service's *hosting* set (sorted, so the
+        seeded pick is deterministic), not the executor registry — memory
+        service buffers live wherever placement put them.
+        """
+        service = self.memservice
+        if service is None:
+            self.skipped.append(event)
+            return
+        hosts = service.hosting_nodes()
+        if event.node is not None:
+            node = event.node if event.node in hosts else None
+        elif hosts:
+            node = hosts[int(self.rng.integers(len(hosts)))]
+        else:
+            node = None
+        if node is None:
+            self.skipped.append(event)
+            return
+        lost = service.kill_node(node, cause=FaultKind.MEMSERVICE_KILL)
+        self._note(event, node, replicas_lost=lost)

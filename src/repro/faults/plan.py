@@ -29,6 +29,10 @@ kind                  meaning
                       for ``duration_s``
 ``warmpool_pressure`` evict the LRU ``magnitude`` fraction of the target
                       node's warm containers (swap to PFS when ``swap``)
+``memservice_kill``   every durable-memory chunk replica hosted on the target
+                      node is destroyed instantly (the batch system took the
+                      memory back without warning); background repair restores
+                      the replication factor from surviving copies
 ===================== =========================================================
 """
 
@@ -50,6 +54,7 @@ class FaultKind:
     NETWORK_PARTITION = "network_partition"
     STRAGGLER = "straggler"
     WARMPOOL_PRESSURE = "warmpool_pressure"
+    MEMSERVICE_KILL = "memservice_kill"
 
     ALL = (
         NODE_CRASH,
@@ -58,6 +63,7 @@ class FaultKind:
         NETWORK_PARTITION,
         STRAGGLER,
         WARMPOOL_PRESSURE,
+        MEMSERVICE_KILL,
     )
 
 
@@ -169,6 +175,9 @@ class FaultPlan:
                           node: Optional[str] = None, swap: bool = True) -> "FaultPlan":
         return self.add(FaultEvent(FaultKind.WARMPOOL_PRESSURE, at_s, node=node,
                                    magnitude=fraction, swap=swap))
+
+    def memservice_kill(self, at_s: float, node: Optional[str] = None) -> "FaultPlan":
+        return self.add(FaultEvent(FaultKind.MEMSERVICE_KILL, at_s, node=node))
 
     def shifted(self, offset_s: float) -> "FaultPlan":
         """A copy with every event delayed by ``offset_s``."""

@@ -1,6 +1,27 @@
-"""Memory service: RMA buffers in idle memory, remote paging."""
+"""Memory service: RMA buffers in idle memory, remote paging, durability."""
 
+from .durable import (
+    Chunk,
+    ChunkReplica,
+    DurableMemoryClient,
+    DurableMemoryConfig,
+    ReplicatedMemoryService,
+)
 from .memory_function import MemoryClient, MemoryServiceFunction, TrafficPattern
 from .paging import RemotePager
+from .placement import ReplicaPlacement
+from .repair import RepairLoop
 
-__all__ = ["MemoryClient", "MemoryServiceFunction", "TrafficPattern", "RemotePager"]
+__all__ = [
+    "MemoryClient",
+    "MemoryServiceFunction",
+    "TrafficPattern",
+    "RemotePager",
+    "Chunk",
+    "ChunkReplica",
+    "DurableMemoryClient",
+    "DurableMemoryConfig",
+    "ReplicatedMemoryService",
+    "ReplicaPlacement",
+    "RepairLoop",
+]

@@ -9,17 +9,15 @@ the perturbation Fig. 11 measures.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
 from ..cluster.node import Allocation, Node
 from ..network.transport import Connection, NetworkFabric
+from ..rfaas.errors import MemoryServiceUnavailable
 from ..rfaas.load import NodeLoadRegistry
 from ..sim.engine import Environment, Process
 
 __all__ = ["MemoryServiceFunction", "MemoryClient", "TrafficPattern"]
-
-_service_ids = itertools.count(1)
 
 
 class MemoryServiceFunction:
@@ -35,7 +33,7 @@ class MemoryServiceFunction:
     ):
         if size_bytes <= 0:
             raise ValueError("buffer size must be positive")
-        self.service_id = next(_service_ids)
+        self.service_id = env.next_id("memservice")
         self.env = env
         self.node = node
         self.size_bytes = size_bytes
@@ -66,14 +64,22 @@ class MemoryServiceFunction:
         return self.env.process(register(), name=f"memservice-{self.service_id}-start")
 
     def stop(self) -> None:
-        """Release the buffer (batch system reclaimed the memory)."""
+        """Release the buffer (batch system reclaimed the memory).
+
+        Idempotent: stopping an already-stopped (or never-started)
+        service is a no-op, so reclaim paths that race — drain migration
+        finishing just as a crash hits the same node — never double-free.
+        """
         if self._alloc is not None:
             self.node.release(self._alloc)
             self._alloc = None
 
     def validate_access(self, offset: int, size: int) -> None:
         if not self.active:
-            raise RuntimeError("memory service not active")
+            raise MemoryServiceUnavailable(
+                f"memory service {self.service_id} on {self.node.name} not active",
+                node_name=self.node.name,
+            )
         if offset < 0 or size < 0 or offset + size > self.size_bytes:
             raise ValueError(
                 f"access [{offset}, {offset + size}) outside buffer of {self.size_bytes} B"

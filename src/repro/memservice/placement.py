@@ -1,0 +1,99 @@
+"""Topology-aware replica placement for the durable memory service.
+
+Chunk replicas must land on *distinct nodes* (a node crash may only cost
+one copy) and, when the cluster is wide enough, on distinct dragonfly
+*groups* (a group-level outage — power, a router — may only cost one
+copy either).  The spreading idiom is the same group round-robin the
+warm-pool autoscaler uses for prewarmed containers: hosts are bucketed
+by ``topology.group_of``, the buckets sorted, and placements drawn by
+cycling groups before cycling nodes within a group.
+
+Placement is pure and deterministic — no rng, no simulated time — so a
+seeded run replays identical replica maps and the determinism contract
+of ``memdurability_sweep`` holds across fresh interpreters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..cluster.machine import Cluster
+
+__all__ = ["ReplicaPlacement"]
+
+
+class ReplicaPlacement:
+    """Deterministic group-aware replica spreading over candidate hosts."""
+
+    def __init__(self, cluster: Cluster, hosts: Sequence[str]):
+        if not hosts:
+            raise ValueError("need at least one candidate host")
+        seen = set()
+        for name in hosts:
+            if name in seen:
+                raise ValueError(f"duplicate host {name!r}")
+            seen.add(name)
+            cluster.node(name)  # validate eagerly
+        self.cluster = cluster
+        self.hosts = tuple(hosts)
+
+    def _rotations(self, exclude: Iterable[str] = ()) -> list[list[str]]:
+        """Sorted per-group host rotations, minus ``exclude`` and drainers."""
+        excluded = set(exclude)
+        groups: dict[int, list[str]] = {}
+        for name in self.hosts:
+            if name in excluded or self.cluster.node(name).draining:
+                continue
+            gid = self.cluster.topology.group_of(self.cluster.node_index(name))
+            groups.setdefault(gid, []).append(name)
+        return [sorted(names) for _, names in sorted(groups.items())]
+
+    def _interleaved(self, start: int, exclude: Iterable[str] = ()) -> list[str]:
+        """Every eligible host, groups cycled before nodes within a group.
+
+        ``start`` rotates both the group order and each group's member
+        order, so consecutive chunks spread their primaries across the
+        whole host set instead of hammering the lexically-first node.
+        """
+        rotations = self._rotations(exclude)
+        if not rotations:
+            return []
+        rotations = [r[start % len(r):] + r[: start % len(r)] for r in rotations]
+        first = start % len(rotations)
+        rotations = rotations[first:] + rotations[:first]
+        out: list[str] = []
+        i = 0
+        while rotations:
+            rotation = rotations[i]
+            out.append(rotation.pop(0))
+            if not rotation:
+                rotations.pop(i)
+                if not rotations:
+                    break
+                i %= len(rotations)
+            else:
+                i = (i + 1) % len(rotations)
+        return out
+
+    def replica_nodes(self, chunk_index: int, k: int,
+                      exclude: Iterable[str] = ()) -> list[str]:
+        """``k`` distinct hosts for one chunk, spread across groups.
+
+        Returns fewer than ``k`` names when the candidate set is too
+        small — the caller decides whether under-placement is an error
+        (initial layout) or a repair deficit (degraded cluster).
+        """
+        if k < 1:
+            raise ValueError("replication factor must be >= 1")
+        return self._interleaved(chunk_index, exclude)[:k]
+
+    def pick_target(self, exclude: Iterable[str], need_bytes: int) -> Optional[str]:
+        """One host for a repaired/migrated replica, or None.
+
+        The first host in group-interleaved order with ``need_bytes`` of
+        node memory free — the same deterministic choice every run.
+        """
+        for candidate in self._interleaved(0, exclude):
+            if self.cluster.node(candidate).free_memory >= need_bytes:
+                return candidate
+        return None

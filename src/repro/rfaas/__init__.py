@@ -3,8 +3,10 @@
 from .client import RFaaSClient
 from .errors import (
     AdmissionRejected,
+    DataLossError,
     InvocationTimeout,
     LeaseRevokedError,
+    MemoryServiceUnavailable,
     NoCapacityError,
     RFaaSError,
     TerminationError,
@@ -25,6 +27,8 @@ __all__ = [
     "LeaseRevokedError",
     "InvocationTimeout",
     "AdmissionRejected",
+    "MemoryServiceUnavailable",
+    "DataLossError",
     "Lease",
     "LeaseState",
     "NodeLoadRegistry",

@@ -12,9 +12,19 @@ Every failure the platform reports to user code derives from
     │                         before/while the client was using it
     ├── InvocationTimeout     the client-side invocation deadline
     │                         (``RetryPolicy.timeout_s``) elapsed
-    └── AdmissionRejected     the capacity plane's admission gate said
-                              no before any resources were touched
-                              (carries ``reason`` + ``tenant``)
+    ├── AdmissionRejected     the capacity plane's admission gate said
+    │                         no before any resources were touched
+    │                         (carries ``reason`` + ``tenant``)
+    ├── MemoryServiceUnavailable
+    │                         a memory-service buffer (or a replica
+    │                         quorum) is gone: reclaimed, crashed, or
+    │                         unreachable (carries ``node_name`` +
+    │                         ``cause``) — retryable against another
+    │                         replica when one exists
+    └── DataLossError         every replica of a memory-service chunk is
+                              gone or fails checksum verification; the
+                              bytes are unrecoverable (carries ``chunk``
+                              + ``replicas_lost``)
 
 ``NoCapacityError`` and ``TerminationError`` predate this module and are
 re-exported from their historical homes (``repro.rfaas.manager`` and
@@ -38,6 +48,8 @@ __all__ = [
     "LeaseRevokedError",
     "InvocationTimeout",
     "AdmissionRejected",
+    "MemoryServiceUnavailable",
+    "DataLossError",
 ]
 
 
@@ -98,3 +110,41 @@ class AdmissionRejected(RFaaSError):
         super().__init__(message)
         self.reason = reason
         self.tenant = tenant
+
+
+class MemoryServiceUnavailable(RFaaSError):
+    """A memory-service buffer cannot serve the access.
+
+    Raised when the hosted buffer is inactive (the batch system reclaimed
+    the memory, the host crashed, or the service was stopped) or when a
+    replicated write cannot reach its quorum.  ``node_name`` names the
+    host that failed (None when the failure is quorum-wide); ``cause``
+    says why (``"inactive"``, ``"quorum"``, ``"partition"``, or the
+    injected fault kind).  Distinguishing this from a plain
+    ``RuntimeError`` lets clients treat reclaim as *retryable* — the
+    durable client fails over to the next replica — while programmer
+    errors (out-of-bounds offsets) stay ``ValueError``.
+    """
+
+    def __init__(self, message: str, node_name: Optional[str] = None,
+                 cause: Any = "inactive"):
+        super().__init__(message)
+        self.node_name = node_name
+        self.cause = cause
+
+
+class DataLossError(RFaaSError):
+    """Every replica of a memory-service chunk is gone or corrupt.
+
+    The terminal failure of the durable memory service: after replica
+    failover exhausted all copies of chunk ``chunk`` — each either
+    destroyed with its host or rejected by checksum/epoch verification
+    (``replicas_lost`` counts them) — the data is unrecoverable.  Only
+    reachable when faults outpace the replication factor (e.g. k=1, or
+    every replica's host lost inside one repair interval).
+    """
+
+    def __init__(self, message: str, chunk: int = -1, replicas_lost: int = 0):
+        super().__init__(message)
+        self.chunk = chunk
+        self.replicas_lost = replicas_lost

@@ -89,6 +89,11 @@ class ResourceManager:
         self.log = log if log is not None else EventLog()
         self._nodes: dict[str, RegisteredNode] = {}
         self._lease_owner: dict[int, str] = {}   # lease_id -> node_name
+        # Reclaim observers: called as hook(node_name, immediate) when the
+        # batch system retrieves a node.  Co-located services (the durable
+        # memory service) subscribe so a graceful reclaim lets them migrate
+        # state off before the memory disappears.
+        self.on_remove_node: list = []
         # Telemetry: pool-level occupancy gauges and lease counters.
         telemetry = telemetry_of(env)
         self._tracer = telemetry.tracer
@@ -214,6 +219,11 @@ class ResourceManager:
             "manager.remove_node", track="manager",
             node=node_name, immediate=immediate,
         )
+        # Tell co-located services: an immediate removal means the node
+        # (and its memory) is gone *now*; a graceful one gives them this
+        # instant to start evacuating hosted state.
+        for hook in self.on_remove_node:
+            hook(node_name, immediate)
 
     def registered_nodes(self) -> list[str]:
         return sorted(self._nodes)

@@ -69,6 +69,10 @@ class BatchScheduler:
         # Called just before batch claims nodes, so co-located functions
         # can be evicted. Receives the node names being claimed.
         self.reclaim_hook: Optional[Callable[[list[str]], None]] = None
+        # Administrative drain observers: hook(node_name) fires when an
+        # operator drains a node, giving co-located services (durable
+        # memory) time to migrate state off before maintenance.
+        self.on_drain: list[Callable[[str], None]] = []
 
         # Telemetry: queue-wait distribution, occupancy gauges, job spans.
         telemetry = telemetry_of(env)
@@ -300,6 +304,25 @@ class BatchScheduler:
                 JobState.FAILED if intr.cause == "node-failure" else JobState.CANCELLED
             )
         self._finish(job)
+
+    def drain_node(self, node_name: str) -> None:
+        """Administratively drain a node ahead of maintenance.
+
+        The node accepts no new allocations (its running job, if any,
+        keeps it until completion) and the ``on_drain`` hooks fire so
+        co-located services can evacuate hosted state *before* the
+        memory goes away — unlike :meth:`fail_node`, nothing on the node
+        is lost.  Reversed by :meth:`restore_node`.
+        """
+        node = self.cluster.node(node_name)
+        if node.draining:
+            return
+        node.draining = True
+        self.log.emit(self.env.now, "drain", node=node_name)
+        self._tracer.instant("slurm.drain", track="scheduler", node=node_name)
+        for hook in self.on_drain:
+            hook(node_name)
+        self._record_occupancy()
 
     def fail_node(self, node_name: str) -> Optional[Job]:
         """A node dies: its batch job fails, the node leaves service.

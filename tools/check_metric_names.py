@@ -30,6 +30,7 @@ KNOWN_SUBSYSTEMS = frozenset({
     "executor",
     "faults",
     "manager",
+    "memservice",  # durable memory service: replication/migration/repair
     "scheduler",
     "warmpool",
 })
