@@ -12,6 +12,7 @@ slower for small messages.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from .logp import LogGPParams
 
@@ -35,6 +36,20 @@ class FabricProvider:
     def requires_credentials(self) -> bool:
         """uGNI communication across batch jobs needs DRC (Sec. IV-A)."""
         return self.name == "ugni"
+
+    # Size-independent base latency terms, precomputed once per provider
+    # so the per-message transfer path does no parameter arithmetic.
+    # (cached_property stores into the instance __dict__, which a frozen
+    # dataclass without __slots__ still has.)
+    @cached_property
+    def one_sided_base_s(self) -> float:
+        """Fixed one-sided op latency: ``o + 2L`` (excl. topology hops)."""
+        return self.params.o + 2 * self.params.L
+
+    @cached_property
+    def two_sided_base_s(self) -> float:
+        """Fixed two-sided message latency: ``2o + L`` (excl. hops)."""
+        return 2 * self.params.o + self.params.L
 
 
 UGNI = FabricProvider(

@@ -200,14 +200,25 @@ class NetworkFabric:
         self.conditioner = LinkConditioner()
         self._egress: dict[str, Resource] = {}
         self._ingress: dict[str, Resource] = {}
+        # Node indices never change once assigned, so the topology hop
+        # latency for a (src, dst) pair is a constant — cache it.
+        self._hop_cache: dict[tuple[str, str], float] = {}
 
     def _channels(self, node: str) -> tuple[Resource, Resource]:
-        if node not in self._egress:
+        egress = self._egress.get(node)
+        if egress is None:
             if node not in self.cluster:
                 raise KeyError(f"unknown node {node!r}")
-            self._egress[node] = Resource(self.env, capacity=1)
+            egress = self._egress[node] = Resource(self.env, capacity=1)
             self._ingress[node] = Resource(self.env, capacity=1)
-        return self._egress[node], self._ingress[node]
+        return egress, self._ingress[node]
+
+    def _hop_latency(self, src: str, dst: str) -> float:
+        pair = (src, dst)
+        hop = self._hop_cache.get(pair)
+        if hop is None:
+            hop = self._hop_cache[pair] = self.cluster.hop_latency(src, dst)
+        return hop
 
     # -- connection management -------------------------------------------------
     def connect(self, src: str, dst: str, user: str, cred_id: Optional[int] = None) -> Process:
@@ -245,18 +256,31 @@ class NetworkFabric:
             raise RuntimeError("connection is closed")
         if size_bytes < 0:
             raise ValueError("negative transfer size")
-        params = self.provider.params
+        provider = self.provider
+        params = provider.params
         serialization = max(size_bytes * params.G, params.g)
-        hop = self.cluster.hop_latency(src, dst)
+        hop = self._hop_latency(src, dst)
         if one_sided:
-            base_latency = params.o + 2 * params.L + hop
+            base_latency = provider.one_sided_base_s + hop
         else:
-            base_latency = 2 * params.o + params.L + hop
-        latency = params.sample(base_latency, self.rng)
+            base_latency = provider.two_sided_base_s + hop
+        if params.jitter_sigma == 0.0:
+            latency = base_latency
+        else:
+            latency = base_latency * float(self.rng.lognormal(mean=0.0, sigma=params.jitter_sigma))
         conditioner = self.conditioner
-        dropped = conditioner.is_blocked(src, dst) or conditioner.should_drop()
-        latency *= conditioner.latency_factor
-        serialization /= conditioner.bandwidth_factor
+        if conditioner._isolated or conditioner.drop_rate > 0.0:
+            # Preserves the short-circuit rng semantics of the slow path:
+            # should_drop() draws only when the link is not partitioned.
+            dropped = conditioner.is_blocked(src, dst) or conditioner.should_drop()
+            latency *= conditioner.latency_factor
+            serialization /= conditioner.bandwidth_factor
+        else:
+            dropped = False
+            if conditioner.latency_factor != 1.0:
+                latency *= conditioner.latency_factor
+            if conditioner.bandwidth_factor != 1.0:
+                serialization /= conditioner.bandwidth_factor
         egress, _ = self._channels(src)
         _, ingress = self._channels(dst)
 
@@ -278,7 +302,9 @@ class NetworkFabric:
             self.stats.record(size_bytes)
             return size_bytes
 
-        return self.env.process(run(), name=f"xfer:{src}->{dst}:{size_bytes}B")
+        # Static name: per-message f-string construction showed up in the
+        # transfer profile and the names are only a debugging aid.
+        return self.env.process(run(), name="xfer")
 
     # -- analytic helpers (no simulation required) ---------------------------------
     def expected_transfer_time(self, src: str, dst: str, size_bytes: int, one_sided: bool = False) -> float:

@@ -162,10 +162,15 @@ class Executor:
         :class:`TerminationError` out of the process, mirroring rFaaS's
         *termination* replies.
         """
-        proc = self.env.process(
-            self._execute(fdef, request), name=f"exec-{self.executor_id}-inv-{request.invocation_id}"
-        )
-        return proc
+        if self._tracer.enabled:
+            return self.env.process(
+                self._execute_traced(fdef, request),
+                name=f"exec-{self.executor_id}-inv-{request.invocation_id}",
+            )
+        # Disabled-telemetry fast path: same control flow and rng draws,
+        # but no span context managers, no metric calls, and a static
+        # process name (the descriptive one is only a trace/debug aid).
+        return self.env.process(self._execute_fast(fdef, request), name="exec")
 
     def _dispatch_delay(self) -> float:
         if self.mode == ExecutorMode.HOT:
@@ -174,7 +179,98 @@ class Executor:
             base = _WARM_WAKEUP_BASE_S + float(self.rng.exponential(_WARM_WAKEUP_MEAN_S))
         return base * self.dispatch_multiplier
 
-    def _execute(self, fdef: FunctionDef, request: InvocationRequest):
+    def _execute_fast(self, fdef: FunctionDef, request: InvocationRequest):
+        """Invocation path with telemetry compiled out.
+
+        Must stay semantically identical to :meth:`_execute_traced` —
+        the same yields, the same rng draws in the same order, the same
+        results — so that traced and untraced runs produce identical
+        timelines (asserted by tests/telemetry determinism tests).
+        """
+        if self.draining:
+            self.rejected += 1
+            return InvocationResult(
+                request=request, status=InvocationStatus.REJECTED, node_name=self.node.name
+            )
+        me = self.env.active_process
+        self._active.add(me)
+        timings = Timings()
+        load_key = f"inv-{request.invocation_id}"
+        registered = False
+        try:
+            with self.slots.request() as slot:
+                yield slot
+                # 1. Dispatch pickup (polling mode dependent).
+                timings.dispatch = self._dispatch_delay()
+                yield self.env.timeout(timings.dispatch)
+                # 2. Sandbox: attached process or warm-pool acquisition.
+                container = self._attached.get(fdef.image.name)
+                if container is not None:
+                    kind = "attached"
+                else:
+                    acquired = self.warm_pool.acquire(fdef.image)
+                    container = acquired.container
+                    self._attached[fdef.image.name] = container
+                    kind = acquired.kind
+                    timings.startup = acquired.startup_cost_s
+                    if timings.startup > 0:
+                        yield self.env.timeout(timings.startup)
+                # 3. Stage inputs through the function storage tier.
+                if fdef.input_read_bytes:
+                    concurrent = max(1, self.active_invocations)
+                    timings.io = self.storage.read_time(
+                        fdef.input_read_bytes, concurrent_readers=concurrent
+                    )
+                    yield self.env.timeout(timings.io)
+                # 4. Execute under the node's current interference.
+                self.loads.add(self.node.name, load_key, fdef.demand)
+                registered = True
+                slowdown = self.loads.slowdown_of(self.node.name, load_key)
+                remaining = max(fdef.runtime_s - request.resume_offset_s, 0.0)
+                timings.execution = remaining * slowdown
+                execution_started = self.env.now
+                execution_slowdown = slowdown
+                if timings.execution > self.max_invocation_s:
+                    self.rejected += 1
+                    return InvocationResult(
+                        request=request,
+                        status=InvocationStatus.REJECTED,
+                        node_name=self.node.name,
+                    )
+                if timings.execution > 0:
+                    yield self.env.timeout(timings.execution)
+                self.completed += 1
+                return InvocationResult(
+                    request=request,
+                    status=InvocationStatus.OK,
+                    output_bytes=fdef.output_bytes,
+                    timings=timings,
+                    node_name=self.node.name,
+                    startup_kind=kind,
+                )
+        except Interrupt as intr:
+            self.terminated += 1
+            checkpoint = request.resume_offset_s
+            if fdef.checkpointable and registered:
+                elapsed = (self.env.now - execution_started) / execution_slowdown
+                interval = fdef.checkpoint_interval_s
+                checkpoint += (elapsed // interval) * interval
+                checkpoint = min(checkpoint, fdef.runtime_s)
+            raise TerminationError(
+                f"invocation {request.invocation_id}: {intr.cause}",
+                checkpoint_s=checkpoint,
+                cause=intr.cause,
+            ) from None
+        finally:
+            if registered:
+                self.loads.remove(self.node.name, load_key)
+            if self.draining:
+                for attached in self._attached.values():
+                    self.warm_pool.discard(attached)
+                self._attached.clear()
+            self._active.discard(me)
+
+    def _execute_traced(self, fdef: FunctionDef, request: InvocationRequest):
         if self.draining:
             self.rejected += 1
             self._m_rejected.inc()

@@ -10,11 +10,24 @@ seeded simulation replays bit-identically.
 
 The engine is self-contained (no third-party dependencies) because the
 reproduction environment is offline.
+
+Hot-path design (see ``docs/performance.md``): the logical event order is
+a single total order by ``(time, priority, seq)``, but physically the
+queue is split into a binary heap for delayed/priority events and a FIFO
+deque for the dominant zero-delay case (``succeed``/``fail``/process
+completion/``Timeout(0)``).  Zero-delay priority-1 events are appended in
+``seq`` order at non-decreasing ``now``, so the deque is already sorted
+by the global key and a two-way merge at pop time reproduces the exact
+single-heap order without paying ``heappush``/``heappop`` for most
+events.  Events additionally keep a ``_waiter`` slot so the dominant
+single-waiter case (one process blocked on one event) resumes without
+touching the callback list.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -27,6 +40,14 @@ __all__ = [
     "Interrupt",
     "SimulationError",
 ]
+
+
+# Shared sentinel for "no callbacks registered yet": events start with
+# this immutable empty tuple instead of allocating a fresh list, and only
+# upgrade to a real list when a second waiter registers (the first goes
+# into the ``_waiter`` slot).  ``callbacks is None`` still means
+# "processed".
+_NO_CALLBACKS: tuple = ()
 
 
 class SimulationError(RuntimeError):
@@ -51,13 +72,20 @@ class Event:
     Events move through three states: *pending* (created), *triggered*
     (scheduled with a value, waiting in the event queue), and *processed*
     (callbacks executed).  Processes wait on events by yielding them.
+
+    ``callbacks is None`` means the event has been consumed by the queue
+    (its callbacks are being/have been run); before that, the first
+    waiter is held in ``_waiter`` and any further ones in ``callbacks``,
+    fired in registration order.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+    __slots__ = ("env", "callbacks", "_waiter", "_value", "_ok", "_triggered",
+                 "_processed", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks = _NO_CALLBACKS
+        self._waiter: Optional[Callable[["Event"], None]] = None
         self._value: Any = None
         self._ok: bool = True
         self._triggered = False
@@ -93,7 +121,9 @@ class Event:
         self._ok = True
         self._value = value
         self._triggered = True
-        self.env._schedule(self)
+        env = self.env
+        env._seq += 1
+        env._immediate.append((env._now, env._seq, self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -105,7 +135,9 @@ class Event:
         self._ok = False
         self._value = exc
         self._triggered = True
-        self.env._schedule(self)
+        env = self.env
+        env._seq += 1
+        env._immediate.append((env._now, env._seq, self))
         return self
 
     def defuse(self) -> None:
@@ -125,12 +157,23 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + Environment._schedule: a Timeout is
+        # born triggered, so the generic pending-state setup would be
+        # pure overhead on the engine's most common allocation.
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
+        self._waiter = None
         self._value = value
+        self._ok = True
         self._triggered = True
-        env._schedule(self, delay)
+        self._processed = False
+        self._defused = False
+        self.delay = delay
+        env._seq += 1
+        if delay == 0.0:
+            env._immediate.append((env._now, env._seq, self))
+        else:
+            heapq.heappush(env._queue, (env._now + delay, env._seq, self))
 
 
 class Initialize(Event):
@@ -139,11 +182,16 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
+        self._waiter = process._resume
+        self._value = None
         self._ok = True
         self._triggered = True
-        env._schedule(self)
+        self._processed = False
+        self._defused = False
+        env._seq += 1
+        env._immediate.append((env._now, env._seq, self))
 
 
 ProcessGenerator = Generator[Event, Any, Any]
@@ -157,14 +205,28 @@ class Process(Event):
     other simply by yielding them.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "_resume", "name")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = ""):
-        if not hasattr(generator, "throw"):
-            raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        try:
+            self._send = generator.send
+            self._throw = generator.throw
+        except AttributeError:
+            raise TypeError(f"{generator!r} is not a generator") from None
+        self.env = env
+        self.callbacks = _NO_CALLBACKS
+        self._waiter = None
+        self._value = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
         self._generator = generator
         self._target: Optional[Event] = None
+        # One bound method for the process's lifetime: waits register this
+        # exact object, so detach can compare with ``is`` and every wait
+        # skips a bound-method allocation.
+        self._resume = self._resume_event
         self.name = name or getattr(generator, "__name__", "process")
         Initialize(env, self)
 
@@ -183,40 +245,46 @@ class Process(Event):
         event._value = Interrupt(cause)
         event._defused = True
         event._triggered = True
-        event.callbacks.append(self._resume)
+        event._waiter = self._resume
         self.env._schedule(event, priority=0)
         # Detach from the event the process was waiting on.
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        target = self._target
+        if target is not None:
+            if target._waiter is self._resume:
+                target._waiter = None
+            elif target.callbacks:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
         self._target = None
 
     # -- engine internals ---------------------------------------------------
-    def _resume(self, event: Event) -> None:
+    def _resume_event(self, event: Event) -> None:
         env = self.env
         env._active_process = self
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = self._send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = self._throw(event._value)
             except StopIteration as stop:
                 env._active_process = None
                 self._ok = True
                 self._value = stop.value
                 self._triggered = True
-                env._schedule(self)
+                env._seq += 1
+                env._immediate.append((env._now, env._seq, self))
                 return
             except BaseException as exc:
                 env._active_process = None
                 self._ok = False
                 self._value = exc
                 self._triggered = True
-                env._schedule(self)
+                env._seq += 1
+                env._immediate.append((env._now, env._seq, self))
                 return
 
             if not isinstance(next_event, Event):
@@ -225,12 +293,22 @@ class Process(Event):
                 self._ok = False
                 self._value = exc
                 self._triggered = True
-                env._schedule(self)
+                env._seq += 1
+                env._immediate.append((env._now, env._seq, self))
                 return
 
-            if next_event.callbacks is not None:
-                # Event still pending/triggered-but-unprocessed: wait for it.
-                next_event.callbacks.append(self._resume)
+            callbacks = next_event.callbacks
+            if callbacks is not None:
+                # Event still pending/triggered-but-unprocessed: wait for
+                # it.  The single-waiter slot keeps the dominant one
+                # process / one event case off the callback list, which
+                # is only allocated for the second waiter onward.
+                if next_event._waiter is None and not callbacks:
+                    next_event._waiter = self._resume
+                elif callbacks:
+                    callbacks.append(self._resume)
+                else:
+                    next_event.callbacks = [self._resume]
                 self._target = next_event
                 env._active_process = None
                 return
@@ -253,8 +331,12 @@ class _Condition(Event):
         for ev in self._events:
             if ev.callbacks is None:  # already processed
                 self._check(ev)
-            else:
+            elif ev._waiter is None and not ev.callbacks:
+                ev._waiter = self._check
+            elif ev.callbacks:
                 ev.callbacks.append(self._check)
+            else:
+                ev.callbacks = [self._check]
         if not self._triggered and self._pending == 0:
             self._finish()
 
@@ -298,11 +380,19 @@ class AnyOf(_Condition):
 
 
 class Environment:
-    """The simulation clock and event queue."""
+    """The simulation clock and event queue.
+
+    Two physical queues back one logical order (see the module
+    docstring): ``_queue`` is a heap of ``(time, priority, seq, event)``
+    and ``_immediate`` a deque of ``(time, seq, event)`` zero-delay
+    priority-1 entries, already sorted by the same key.
+    """
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, Event]] = []
+        self._immediate: deque[tuple[float, int, Event]] = deque()
+        self._urgent: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._id_streams: dict[str, int] = {}
@@ -329,6 +419,11 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
+    @property
+    def event_count(self) -> int:
+        """Events scheduled so far (equals events processed once idle)."""
+        return self._seq
+
     # -- factories -----------------------------------------------------------
     def event(self) -> Event:
         return Event(self)
@@ -348,38 +443,146 @@ class Environment:
     # -- scheduling ------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 1) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        if priority == 1:
+            # The two hot queues carry no priority element: within
+            # priority 1 the (time, seq) pair alone fixes the order.
+            if delay == 0.0:
+                self._immediate.append((self._now, self._seq, event))
+            else:
+                heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        else:
+            # Rare lane (only interrupts use it): keeps the full
+            # (time, priority, seq) key.
+            heapq.heappush(self._urgent, (self._now + delay, priority, self._seq, event))
+
+    def _pop_next(self) -> Event:
+        """Pop the globally next event, advancing the clock to it.
+
+        Three-way merge by the logical (time, priority, seq) key; the
+        urgent lane is almost always empty.
+        """
+        queue = self._queue
+        immediate = self._immediate
+        # Best priority-1 candidate.
+        t1 = s1 = None
+        from_queue = False
+        if immediate:
+            t1, s1, _ = immediate[0]
+            if queue:
+                head = queue[0]
+                if head[0] < t1 or (head[0] == t1 and head[1] < s1):
+                    t1, s1 = head[0], head[1]
+                    from_queue = True
+        elif queue:
+            head = queue[0]
+            t1, s1 = head[0], head[1]
+            from_queue = True
+        urgent = self._urgent
+        if urgent:
+            t_u, p_u, s_u, _ = urgent[0]
+            if t1 is None or (t_u, p_u, s_u) < (t1, 1, s1):
+                self._now, _, _, event = heapq.heappop(urgent)
+                return event
+        if t1 is None:
+            raise SimulationError("no scheduled events")
+        if from_queue:
+            self._now, _, event = heapq.heappop(queue)
+        else:
+            _, _, event = immediate.popleft()
+            self._now = t1
+        return event
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        t = self._queue[0][0] if self._queue else float("inf")
+        if self._immediate:
+            t_i = self._immediate[0][0]
+            if t_i < t:
+                t = t_i
+        if self._urgent:
+            t_u = self._urgent[0][0]
+            if t_u < t:
+                t = t_u
+        return t
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
-            raise SimulationError("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
-        callbacks, event.callbacks = event.callbacks, None
+        event = self._pop_next()
+        waiter = event._waiter
+        callbacks = event.callbacks
+        event.callbacks = None
+        if waiter is not None:
+            event._waiter = None
+            waiter(event)
         for callback in callbacks:
             callback(event)
         event._processed = True
         if not event._ok and not event._defused:
             raise event._value
 
+    def run_until_idle(self) -> None:
+        """Drain the event queue with no stop-condition checks.
+
+        The tight-loop core of :meth:`run`: everything loop-invariant
+        (queue bindings, ``heappop``) is hoisted, and the per-event body
+        inlines :meth:`step` without the empty-queue re-check.
+        """
+        queue = self._queue
+        immediate = self._immediate
+        urgent = self._urgent
+        heappop = heapq.heappop
+        while True:
+            if urgent:
+                if not (queue or immediate):
+                    self._now, _, _, event = heappop(urgent)
+                else:
+                    event = self._pop_next()
+            elif immediate:
+                t_i, s_i, event = immediate[0]
+                if queue:
+                    head = queue[0]
+                    t_h = head[0]
+                    if t_h < t_i or (t_h == t_i and head[1] < s_i):
+                        self._now, _, event = heappop(queue)
+                    else:
+                        immediate.popleft()
+                        self._now = t_i
+                else:
+                    immediate.popleft()
+                    self._now = t_i
+            elif queue:
+                self._now, _, event = heappop(queue)
+            else:
+                break
+            waiter = event._waiter
+            callbacks = event.callbacks
+            event.callbacks = None
+            if waiter is not None:
+                event._waiter = None
+                waiter(event)
+            for callback in callbacks:
+                callback(event)
+            event._processed = True
+            if not event._ok and not event._defused:
+                raise event._value
+
     def run(self, until: Optional[float] = None) -> Any:
         """Run until the queue drains or ``until`` (a time or an event)."""
+        if until is None:
+            self.run_until_idle()
+            return None
         stop_event: Optional[Event] = None
         stop_time = float("inf")
         if isinstance(until, Event):
             stop_event = until
             if stop_event.processed:
                 return stop_event.value
-        elif until is not None:
+        else:
             stop_time = float(until)
             if stop_time < self._now:
                 raise ValueError(f"until={stop_time} lies in the past (now={self._now})")
 
-        while self._queue:
+        while self._queue or self._immediate or self._urgent:
             if stop_event is not None and stop_event.processed:
                 return stop_event.value
             if self.peek() > stop_time:

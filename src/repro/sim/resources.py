@@ -88,6 +88,14 @@ class Resource:
             raise ValueError(f"invalid slot count {count} (capacity {self.capacity})")
         self._seq += 1
         req = Request(self, count, priority, self._seq)
+        if not self._waiting and count <= self.capacity - self._in_use:
+            # Uncontended fast path: the queue is empty and the request
+            # fits, so it would be granted first by _dispatch anyway —
+            # grant directly without the append/sort round-trip.
+            self._in_use += count
+            self._granted.add(req.key)
+            req.succeed(req)
+            return req
         self._waiting.append((priority, self._seq, req))
         self._waiting.sort(key=lambda item: (item[0], item[1]))
         self._dispatch()

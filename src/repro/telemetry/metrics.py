@@ -24,6 +24,7 @@ from __future__ import annotations
 import bisect
 import math
 import re
+from functools import lru_cache
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..sim.trace import TimeSeries
@@ -49,7 +50,10 @@ METRIC_NAME_RE = re.compile(
 )
 
 
+@lru_cache(maxsize=1024)
 def validate_metric_name(name: str) -> str:
+    # Cached: the closed metric vocabulary is tiny, but registration runs
+    # per-instrument per-executor, i.e. thousands of times in a sweep.
     if not METRIC_NAME_RE.match(name):
         raise ValueError(
             f"metric name {name!r} violates the repro_<subsystem>_<name>_<unit> "

@@ -55,7 +55,11 @@ class Tracer:
     @contextmanager
     def span(self, name: str, track: str = "main", **attrs: Any) -> Iterator[Span]:
         """Open a child of the calling process's current span."""
-        parent = self.current()
+        # Inlined current(): one key_fn call and one dict lookup instead
+        # of two of each on this per-span hot path.
+        key = self._key_fn()
+        stack = self._stacks.setdefault(key, [])
+        parent = stack[-1] if stack else None
         record = Span(
             name,
             self.clock(),
@@ -63,8 +67,6 @@ class Tracer:
             parent_id=parent.span_id if parent else None,
             attrs=attrs,
         )
-        key = self._key_fn()
-        stack = self._stacks.setdefault(key, [])
         stack.append(record)
         try:
             yield record

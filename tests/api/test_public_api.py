@@ -1,16 +1,20 @@
-"""The public-API lint: the exported surface must match the manifest."""
+"""The public-API lint: the exported surface must match the manifest.
+
+Wired through the unified ``tools.checks`` entry point so the suite runs
+the exact code path CI and humans run (``python -m tools.checks``).
+"""
 
 import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
-sys.path.insert(0, str(REPO_ROOT / "tools"))
+sys.path.insert(0, str(REPO_ROOT))
 
-import check_public_api  # noqa: E402
+from tools import check_public_api, checks  # noqa: E402
 
 
 def test_public_surface_matches_the_manifest():
-    assert check_public_api.violations() == []
+    assert checks.run("public-api") == []
 
 
 def test_snapshot_covers_the_contract_modules():

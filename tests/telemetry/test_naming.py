@@ -1,16 +1,20 @@
-"""The metric-name lint: src/repro cannot drift from the convention."""
+"""The metric-name lint: src/repro cannot drift from the convention.
+
+Wired through the unified ``tools.checks`` entry point so the suite runs
+the exact code path CI and humans run (``python -m tools.checks``).
+"""
 
 import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
-sys.path.insert(0, str(REPO_ROOT / "tools"))
+sys.path.insert(0, str(REPO_ROOT))
 
-import check_metric_names  # noqa: E402
+from tools import check_metric_names, checks  # noqa: E402
 
 
 def test_every_registered_metric_name_is_conventional():
-    assert check_metric_names.violations() == []
+    assert checks.run("metric-names") == []
 
 
 def test_lint_actually_scans_the_instrumented_subsystems():

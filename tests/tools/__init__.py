@@ -1,0 +1,1 @@
+"""Tests for the repo tooling (unified checks, perf gate)."""

@@ -1,0 +1,110 @@
+"""The perf gate's comparison logic and the committed baseline file.
+
+``compare()`` is a pure function of two dicts, so the gate semantics are
+tested without timing anything — tier-1 wall time does not grow.  The
+baseline-file tests double as the acceptance check that the fast-path
+PR's recorded event-loop speedup is >= 1.5x.
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools import perfgate  # noqa: E402
+
+
+def _baseline():
+    return {
+        "scenarios": {
+            "event_loop": {"metric": "events_per_s", "after": 800000.0,
+                           "before": 500000.0, "speedup": 1.6},
+            "fig07_latency": {"metric": "wall_s", "after": 0.05,
+                              "before": 0.06, "speedup": 1.2},
+        },
+        "tolerance": {"events_per_s": 0.25, "wall_s": 0.5},
+    }
+
+
+def test_compare_passes_within_tolerance():
+    measurements = {
+        "event_loop": {"metric": "events_per_s", "value": 700000.0},
+        "fig07_latency": {"metric": "wall_s", "value": 0.07},
+    }
+    assert perfgate.compare(_baseline(), measurements) == []
+
+
+def test_compare_flags_throughput_below_the_floor():
+    measurements = {
+        "event_loop": {"metric": "events_per_s", "value": 599999.0},
+        "fig07_latency": {"metric": "wall_s", "value": 0.05},
+    }
+    problems = perfgate.compare(_baseline(), measurements)
+    assert len(problems) == 1
+    assert problems[0].startswith("event_loop:")
+    assert "below the tolerance floor" in problems[0]
+
+
+def test_compare_flags_wall_time_above_the_ceiling():
+    measurements = {
+        "event_loop": {"metric": "events_per_s", "value": 800000.0},
+        "fig07_latency": {"metric": "wall_s", "value": 0.0751},
+    }
+    problems = perfgate.compare(_baseline(), measurements)
+    assert len(problems) == 1
+    assert problems[0].startswith("fig07_latency:")
+    assert "exceeds the tolerance ceiling" in problems[0]
+
+
+def test_compare_flags_missing_scenario_and_metric_mismatch():
+    measurements = {
+        "event_loop": {"metric": "wall_s", "value": 1.0},
+    }
+    problems = perfgate.compare(_baseline(), measurements)
+    assert any("metric mismatch" in p for p in problems)
+    assert any("fig07_latency: scenario missing" in p for p in problems)
+
+
+def test_compare_uses_default_tolerance_when_unconfigured():
+    baseline = _baseline()
+    del baseline["tolerance"]
+    # Default tol is 0.3: floor = 560k, so 550k regresses but 570k passes.
+    bad = {"event_loop": {"metric": "events_per_s", "value": 550000.0},
+           "fig07_latency": {"metric": "wall_s", "value": 0.05}}
+    ok = {"event_loop": {"metric": "events_per_s", "value": 570000.0},
+          "fig07_latency": {"metric": "wall_s", "value": 0.05}}
+    assert perfgate.compare(baseline, bad) != []
+    assert perfgate.compare(baseline, ok) == []
+
+
+def test_baseline_round_trip(tmp_path):
+    path = tmp_path / "BENCH_engine.json"
+    perfgate.write_baseline(_baseline(), path)
+    assert perfgate.load_baseline(path) == _baseline()
+
+
+# -- the committed baseline file (acceptance criteria) ----------------------
+
+def test_committed_baseline_shape():
+    baseline = perfgate.load_baseline()
+    scenarios = baseline["scenarios"]
+    assert set(scenarios) == {"event_loop", "fig07_latency", "chaos_sweep"}
+    for name, recorded in scenarios.items():
+        assert recorded["metric"] in {"events_per_s", "wall_s"}
+        assert recorded["after"] > 0
+        assert recorded["before"] > 0
+        assert recorded["speedup"] > 0
+    assert baseline["tolerance"]["events_per_s"] > 0
+    assert baseline["tolerance"]["wall_s"] > 0
+
+
+def test_committed_event_loop_speedup_meets_the_acceptance_bar():
+    """The fast-path PR's acceptance criterion: >= 1.5x events/sec on the
+    event-loop microbench versus the pre-PR engine, as recorded in the
+    committed BENCH_engine.json."""
+    recorded = perfgate.load_baseline()["scenarios"]["event_loop"]
+    assert recorded["metric"] == "events_per_s"
+    assert recorded["after"] / recorded["before"] >= 1.5
+    assert recorded["speedup"] >= 1.5
+    assert recorded["events"] > 100_000  # a real workload, not a toy loop

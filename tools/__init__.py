@@ -1,0 +1,4 @@
+"""Repo maintenance tooling: lints, the unified checks entry point, and
+the perf gate.  ``python -m tools.checks`` runs every lint; see
+``tools/perfgate.py`` for the benchmark regression gate.
+"""

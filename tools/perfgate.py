@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Perf gate: engine throughput must not regress against the baseline.
+
+Measures the scenarios defined in ``benchmarks/bench_engine.py`` and
+compares them against the committed ``BENCH_engine.json``:
+
+    python tools/perfgate.py             # check: exit 1 on regression
+    python tools/perfgate.py --report    # measure + print, never fail
+    python tools/perfgate.py --update    # rewrite the "after" baseline
+
+A scenario regresses when its live measurement is worse than the
+recorded ``after`` value by more than the tolerance configured in the
+baseline file (throughput scenarios must not drop below
+``after * (1 - tol)``; wall-time scenarios must not exceed
+``after * (1 + tol)``).  Tolerances are deliberately loose — wall time
+on shared CI runners is noisy — so the gate catches structural
+regressions (an accidentally quadratic queue, a reintroduced per-event
+allocation), not scheduling jitter.  ``before``/``speedup`` record the
+pre-/post-optimization comparison for the fast-path PR and are never
+overwritten by ``--update``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_engine.json"
+
+# Make both the package under src/ and the benchmarks directory
+# importable regardless of how this script is invoked.
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+
+def load_baseline(path: pathlib.Path = BASELINE_PATH) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_baseline(baseline: dict, path: pathlib.Path = BASELINE_PATH) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def compare(baseline: dict, measurements: dict[str, dict]) -> list[str]:
+    """Regression lines (empty = within tolerance).
+
+    Pure function of the two dicts so the gate logic is unit-testable
+    without timing anything.
+    """
+    problems: list[str] = []
+    tolerances = baseline.get("tolerance", {})
+    for name, recorded in baseline.get("scenarios", {}).items():
+        measured = measurements.get(name)
+        if measured is None:
+            problems.append(f"{name}: scenario missing from measurements")
+            continue
+        metric = recorded["metric"]
+        if measured["metric"] != metric:
+            problems.append(
+                f"{name}: metric mismatch (baseline {metric!r}, measured {measured['metric']!r})"
+            )
+            continue
+        tol = float(tolerances.get(metric, 0.3))
+        value = float(measured["value"])
+        after = float(recorded["after"])
+        if metric == "events_per_s":
+            floor = after * (1.0 - tol)
+            if value < floor:
+                problems.append(
+                    f"{name}: {value:,.0f} events/s is below the tolerance floor "
+                    f"{floor:,.0f} (baseline {after:,.0f}, tol {tol:.0%})"
+                )
+        else:
+            ceiling = after * (1.0 + tol)
+            if value > ceiling:
+                problems.append(
+                    f"{name}: {value:.4f}s wall exceeds the tolerance ceiling "
+                    f"{ceiling:.4f}s (baseline {after:.4f}s, tol {tol:.0%})"
+                )
+    return problems
+
+
+def _format_row(name: str, recorded: dict, measured: dict) -> str:
+    metric = recorded["metric"]
+    if metric == "events_per_s":
+        return (
+            f"  {name:<16} {measured['value']:>12,.0f} events/s"
+            f"  (baseline {float(recorded['after']):,.0f},"
+            f" pre-optimization {float(recorded['before']):,.0f},"
+            f" recorded speedup {float(recorded['speedup']):.2f}x)"
+        )
+    return (
+        f"  {name:<16} {measured['value']:>12.4f} s wall"
+        f"  (baseline {float(recorded['after']):.4f},"
+        f" pre-optimization {float(recorded['before']):.4f},"
+        f" recorded speedup {float(recorded['speedup']):.2f}x)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--report", action="store_true",
+                      help="measure and print without failing (CI mode)")
+    mode.add_argument("--update", action="store_true",
+                      help="rewrite the 'after' baselines from this machine")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of repeats per scenario (default from bench_engine)")
+    args = parser.parse_args(argv)
+
+    import bench_engine
+
+    repeats = args.repeats if args.repeats is not None else bench_engine.DEFAULT_REPEATS
+    baseline = load_baseline()
+    measurements = bench_engine.measure_all(repeats)
+
+    print(f"perfgate: {len(measurements)} scenario(s), best of {repeats}")
+    for name, recorded in baseline.get("scenarios", {}).items():
+        if name in measurements:
+            print(_format_row(name, recorded, measurements[name]))
+
+    if args.update:
+        for name, measured in measurements.items():
+            recorded = baseline["scenarios"].setdefault(name, {"metric": measured["metric"]})
+            recorded["after"] = round(measured["value"], 4 if measured["metric"] == "wall_s" else 0)
+            before = float(recorded.get("before", measured["value"]))
+            recorded.setdefault("before", before)
+            if measured["metric"] == "events_per_s":
+                recorded["speedup"] = round(measured["value"] / before, 2)
+            else:
+                recorded["speedup"] = round(before / measured["value"], 2)
+            if "events" in measured:
+                recorded["events"] = measured["events"]
+        write_baseline(baseline)
+        print(f"baseline updated -> {BASELINE_PATH}")
+        return 0
+
+    problems = compare(baseline, measurements)
+    for problem in problems:
+        print(f"REGRESSION {problem}", file=sys.stderr)
+    if args.report:
+        if problems:
+            print(f"{len(problems)} regression(s) (report-only mode, not failing)")
+        else:
+            print("all scenarios within tolerance")
+        return 0
+    if problems:
+        return 1
+    print("all scenarios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
