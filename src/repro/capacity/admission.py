@@ -28,6 +28,7 @@ from typing import Optional
 from ..rfaas.errors import AdmissionRejected
 from ..sim.engine import Environment
 from ..telemetry import telemetry_of
+from ..telemetry.context import TraceContext
 
 __all__ = [
     "TenantQuota",
@@ -168,7 +169,8 @@ class AdmissionController:
         return bucket
 
     # -- the gate ------------------------------------------------------------
-    def admit(self, tenant: str, priority: int = 1, cost: float = 1.0):
+    def admit(self, tenant: str, priority: int = 1, cost: float = 1.0,
+              ctx: Optional[TraceContext] = None):
         """Process body (``yield from`` it): returns seconds spent queued.
 
         Raises :class:`AdmissionRejected` with ``reason="queue_full"``
@@ -178,10 +180,10 @@ class AdmissionController:
         bucket = self.bucket_for(tenant)
         # Fast path: nothing ahead of us and tokens available right now.
         if not self.queue_depth() and bucket.try_take(self.env.now, cost):
-            self._note_admitted(tenant, 0.0)
+            self._note_admitted(tenant, 0.0, ctx)
             return 0.0
         if self.queue_depth() >= self.config.max_queue_depth:
-            self._reject(tenant, "queue_full")
+            self._reject(tenant, "queue_full", ctx)
         entry = _QueueEntry(
             priority, next(self._seq), tenant, cost,
             self.env.event(), self.env.now,
@@ -198,12 +200,13 @@ class AdmissionController:
             if not entry.event.triggered:
                 entry.cancelled = True
                 self._m_depth.set(self.queue_depth())
-                self._reject(tenant, "timeout")
+                self._reject(tenant, "timeout", ctx)
         waited = self.env.now - entry.enqueued_at
-        self._note_admitted(tenant, waited)
+        self._note_admitted(tenant, waited, ctx)
         return waited
 
-    def _reject(self, tenant: str, reason: str) -> None:
+    def _reject(self, tenant: str, reason: str,
+                ctx: Optional[TraceContext] = None) -> None:
         self.rejected += 1
         counter = self._m_rejected.get(reason)
         if counter is None:
@@ -214,18 +217,21 @@ class AdmissionController:
             self._m_rejected[reason] = counter
         counter.inc()
         self._tracer.instant(
-            "capacity.reject", track="capacity", tenant=tenant, reason=reason,
+            "capacity.reject", track="capacity", ctx=ctx,
+            tenant=tenant, reason=reason,
         )
         raise AdmissionRejected(
             f"tenant {tenant!r} rejected: {reason}", reason=reason, tenant=tenant,
         )
 
-    def _note_admitted(self, tenant: str, waited: float) -> None:
+    def _note_admitted(self, tenant: str, waited: float,
+                       ctx: Optional[TraceContext] = None) -> None:
         self.admitted += 1
         self._m_admitted.inc()
         self._m_wait.observe(waited)
         self._tracer.instant(
-            "capacity.admit", track="capacity", tenant=tenant, waited_s=waited,
+            "capacity.admit", track="capacity", ctx=ctx,
+            tenant=tenant, waited_s=waited,
         )
 
     # -- the pump -------------------------------------------------------------

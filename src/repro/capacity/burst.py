@@ -23,6 +23,7 @@ from ..disagg.billing import FunctionBill
 from ..rfaas.registry import FunctionDef
 from ..sim.engine import Environment
 from ..telemetry import telemetry_of
+from ..telemetry.context import TraceContext
 
 __all__ = ["BurstConfig", "BurstRecord", "CloudBurstRouter"]
 
@@ -94,7 +95,8 @@ class CloudBurstRouter:
         self.cloud.register(fdef.name, fdef.image)
         self._registered.add(fdef.name)
 
-    def burst(self, fdef: FunctionDef, payload_bytes: int = 0):
+    def burst(self, fdef: FunctionDef, payload_bytes: int = 0,
+              ctx: Optional[TraceContext] = None):
         """Process body (``yield from``): run ``fdef`` on the cloud.
 
         Returns a :class:`BurstRecord`; the bill is the cloud run billed
@@ -121,7 +123,7 @@ class CloudBurstRouter:
         self._m_cost.inc(cost)
         self._m_latency.observe(record.total_s)
         self._tracer.instant(
-            "capacity.burst", track="capacity",
+            "capacity.burst", track="capacity", ctx=ctx,
             function=fdef.name, cold=record.cold,
             latency_s=record.total_s, cost=cost,
         )

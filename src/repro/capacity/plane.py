@@ -29,6 +29,8 @@ from ..rfaas.client import RFaaSClient
 from ..rfaas.errors import AdmissionRejected
 from ..sim.engine import Environment
 from ..telemetry import telemetry_of
+from ..telemetry.context import TraceContext
+from ..telemetry.span import SpanKind
 from .admission import AdmissionConfig, AdmissionController
 from .autoscaler import AutoscalerConfig, WarmPoolAutoscaler
 from .burst import BurstConfig, BurstRecord, CloudBurstRouter
@@ -163,12 +165,30 @@ class CapacityPlane:
         t_begin = self.env.now
         self.invocations += 1
         self.forecaster.observe_arrival(t_begin, function)
+        # The plane is the front door: it mints the trace identity here,
+        # and every hop downstream — admission, client attempts, executor
+        # dispatch, cloud burst — joins the same causal tree.
+        root_span = None
+        ctx: Optional[TraceContext] = None
+        if self._tracer.enabled:
+            ctx = TraceContext.mint()
+            root_span = self._tracer.begin(
+                SpanKind.CAPACITY, track="capacity", ctx=ctx,
+                function=function, tenant=tenant, priority=priority,
+            )
+            ctx = ctx.child(root_span.span_id)
+
+        def conclude(route: str) -> None:
+            if root_span is not None:
+                self._tracer.finish(root_span, route=route)
+
         try:
-            queue_wait = yield from self.admission.admit(tenant, priority)
+            queue_wait = yield from self.admission.admit(tenant, priority, ctx=ctx)
         except AdmissionRejected as err:
             self.rejected += 1
             latency = self.env.now - t_begin
             self._count_route("rejected", latency)
+            conclude("rejected")
             return CapacityResult(
                 function=function, tenant=tenant, route="rejected", ok=False,
                 latency_s=latency, error=err,
@@ -176,7 +196,7 @@ class CapacityPlane:
         self._enter(tenant)
         try:
             degraded: DegradedResult = yield client.invoke_detailed(
-                function, payload_bytes=payload_bytes
+                function, payload_bytes=payload_bytes, ctx=ctx
             )
         finally:
             self._leave(tenant, client)
@@ -184,6 +204,7 @@ class CapacityPlane:
             self.completed += 1
             latency = self.env.now - t_begin
             self._count_route("hpc", latency)
+            conclude("hpc")
             return CapacityResult(
                 function=function, tenant=tenant, route="hpc", ok=True,
                 latency_s=latency, queue_wait_s=queue_wait, hpc=degraded,
@@ -193,11 +214,12 @@ class CapacityPlane:
         # the platform still owes an answer — overflow to the cloud.
         if self.router is not None:
             record: BurstRecord = yield from self.router.burst(
-                fdef, payload_bytes=payload_bytes
+                fdef, payload_bytes=payload_bytes, ctx=ctx
             )
             self.bursts += 1
             latency = self.env.now - t_begin
             self._count_route("cloud", latency)
+            conclude("cloud")
             return CapacityResult(
                 function=function, tenant=tenant, route="cloud", ok=True,
                 latency_s=latency, queue_wait_s=queue_wait, hpc=degraded,
@@ -206,6 +228,7 @@ class CapacityPlane:
         self.rejected += 1
         latency = self.env.now - t_begin
         self._count_route("rejected", latency)
+        conclude("rejected")
         return CapacityResult(
             function=function, tenant=tenant, route="rejected", ok=False,
             latency_s=latency, queue_wait_s=queue_wait, hpc=degraded,

@@ -46,13 +46,22 @@ from .experiments import (
 )
 from .faults import FaultPlan
 from .telemetry import (
+    MetricsRegistry,
+    RedAggregator,
+    SloConfig,
+    SloMonitor,
+    SpanPipeline,
     TelemetryCollector,
+    critical_path_table,
     load_spans,
     span_summary_table,
+    trace_index,
+    trace_summaries,
     write_chrome_trace,
     write_prometheus_text,
     write_spans_jsonl,
 )
+from .analysis.tables import render_table
 
 __all__ = ["EXPERIMENTS", "main"]
 
@@ -95,17 +104,113 @@ def _run_one(name: str, overrides: dict[str, Any], out: Callable[[str], None]) -
     out(f"[{name} completed in {elapsed:.2f}s]\n")
 
 
+def _make_collector(args: argparse.Namespace) -> TelemetryCollector | None:
+    """A collector when any telemetry export was requested.
+
+    With ``--stream-spans`` the collector's sink is a bounded
+    :class:`SpanPipeline` streaming every span to disk as it closes;
+    the batch exporters then only see the flight-recorder tail.
+    """
+    stream = getattr(args, "stream_spans", None)
+    if stream:
+        return TelemetryCollector(pipeline=SpanPipeline(stream_path=stream))
+    if args.trace or args.spans or args.metrics_out:
+        return TelemetryCollector()
+    return None
+
+
 def _export_telemetry(collector: TelemetryCollector, args: argparse.Namespace,
                       out: Callable[[str], None]) -> None:
+    pipeline = collector.pipeline
+    if pipeline is not None:
+        pipeline.close()
+        stream = getattr(args, "stream_spans", None)
+        out(f"[stream: {pipeline.seen} spans -> {stream} "
+            f"(peak retained {pipeline.peak_retained}, "
+            f"slo breaches {len(pipeline.slo.breaches)})]")
     if args.trace:
-        n = write_chrome_trace(collector.spans, args.trace)
+        n = write_chrome_trace(list(collector.spans), args.trace)
         out(f"[trace: {n} events -> {args.trace}]")
     if args.spans:
         n = write_spans_jsonl(collector.spans, args.spans)
         out(f"[spans: {n} spans -> {args.spans}]")
     if args.metrics_out:
-        write_prometheus_text(collector.registries(), args.metrics_out)
+        registries = collector.registries()
+        if pipeline is not None:
+            registries = registries + [pipeline.metrics]
+        write_prometheus_text(registries, args.metrics_out)
         out(f"[metrics -> {args.metrics_out}]")
+
+
+def _run_obs(args: argparse.Namespace, parser: argparse.ArgumentParser,
+             out: Callable[[str], None]) -> int:
+    """The ``repro obs`` family: analyse an exported span file."""
+    try:
+        spans = load_spans(args.tracefile)
+    except OSError as exc:
+        parser.error(f"cannot read trace file: {exc}")
+
+    if args.obs_command == "critical-path":
+        summaries = trace_summaries(spans)
+        if not summaries:
+            out("no spans with a trace_id (was the run traced?)")
+            return 1
+        if args.all:
+            rows = [[s["trace_id"], s["root"], s["spans"],
+                     f"{s['start']:.6f}", f"{s['duration_s']:.6f}"]
+                    for s in summaries]
+            out(render_table(["trace", "root", "spans", "start", "duration_s"],
+                             rows, title=f"{len(summaries)} trace(s)"))
+            return 0
+        traces = trace_index(spans)
+        if args.trace_id is not None:
+            if args.trace_id not in traces:
+                parser.error(f"trace {args.trace_id} not in {args.tracefile}")
+            chosen = args.trace_id
+        else:
+            chosen = max(summaries, key=lambda s: s["duration_s"])["trace_id"]
+        out(critical_path_table(traces[chosen], trace_id=chosen))
+        return 0
+
+    if args.obs_command == "slo":
+        config = SloConfig(latency_threshold_s=args.threshold,
+                           error_budget=args.budget, window_s=args.window)
+        monitor = SloMonitor(MetricsRegistry(lambda: 0.0, scope="replay"), config)
+        for span in spans:
+            monitor.observe(span)
+        rows = [[b.attrs["tenant"], f"{b.start:.3f}", b.attrs["burn_rate"],
+                 b.attrs["bad"], b.attrs["total"]]
+                for b in monitor.breaches]
+        if rows:
+            out(render_table(["tenant", "t", "burn_rate", "bad", "total"], rows,
+                             title=f"{len(rows)} slo.breach episode(s)"))
+        else:
+            out("no SLO breaches")
+        return 0
+
+    if args.obs_command == "red":
+        red = RedAggregator(MetricsRegistry(lambda: 0.0, scope="replay"))
+        for span in spans:
+            red.observe(span)
+        rows = [[r["tenant"], r["count"], r["errors"], f"{r['mean']:.6f}",
+                 f"{r['p50']:.6f}", f"{r['p95']:.6f}", f"{r['p99']:.6f}"]
+                for r in red.table()]
+        if rows:
+            out(render_table(
+                ["tenant", "requests", "errors", "mean_s", "p50_s", "p95_s", "p99_s"],
+                rows, title="per-tenant RED rollup"))
+        else:
+            out("no request-root spans (capacity.invocation / rfaas.request)")
+        return 0
+
+    # obs tail
+    closed = [s for s in spans if s.end is not None]
+    rows = [[s.attrs.get("trace_id", ""), s.name, s.track,
+             f"{s.start:.6f}", f"{s.duration:.6f}"]
+            for s in closed[-max(args.count, 0):]]
+    out(render_table(["trace", "span", "track", "start", "duration_s"], rows,
+                     title=f"last {len(rows)} of {len(closed)} span(s)"))
+    return 0
 
 
 def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> int:
@@ -132,6 +237,11 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
     run_parser.add_argument(
         "--metrics-out", metavar="FILE", default=None,
         help="write a Prometheus-style text dump of all metrics",
+    )
+    run_parser.add_argument(
+        "--stream-spans", metavar="FILE", default=None,
+        help="stream spans to FILE as JSONL while the run executes "
+             "(bounded memory; batch exports then cover only the tail)",
     )
     chaos_parser = sub.add_parser(
         "chaos", help="fault-injection sweep: latency/recovery under faults",
@@ -206,6 +316,11 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
                                 help="write a JSONL dump of all recorded spans")
         tel_parser.add_argument("--metrics-out", metavar="FILE", default=None,
                                 help="write a Prometheus-style text metrics dump")
+        tel_parser.add_argument(
+            "--stream-spans", metavar="FILE", default=None,
+            help="stream spans to FILE as JSONL while the run executes "
+                 "(bounded memory; batch exports then cover only the tail)",
+        )
     telemetry_parser = sub.add_parser(
         "telemetry", help="inspect exported telemetry",
     )
@@ -216,6 +331,43 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
     summary_parser.add_argument(
         "tracefile", help="a --trace (Chrome JSON) or --spans (JSONL) file",
     )
+    obs_parser = sub.add_parser(
+        "obs", help="causal observability: critical paths, SLO burn, RED rollups",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    cp_parser = obs_sub.add_parser(
+        "critical-path", help="the latency-determining span chain of one trace",
+    )
+    cp_parser.add_argument("tracefile", help="a --spans / --stream-spans JSONL "
+                                             "(or --trace Chrome JSON) file")
+    cp_parser.add_argument(
+        "--trace-id", type=int, default=None,
+        help="trace to analyse (default: the longest-running one)",
+    )
+    cp_parser.add_argument(
+        "--all", action="store_true",
+        help="list every trace instead of analysing one",
+    )
+    slo_parser = obs_sub.add_parser(
+        "slo", help="replay request spans through the burn-rate monitor",
+    )
+    slo_parser.add_argument("tracefile")
+    slo_parser.add_argument("--threshold", type=float, default=1.0,
+                            metavar="SECONDS",
+                            help="latency above which a request is 'bad'")
+    slo_parser.add_argument("--budget", type=float, default=0.01,
+                            help="allowed bad-request fraction")
+    slo_parser.add_argument("--window", type=float, default=60.0,
+                            metavar="SECONDS", help="sliding window length")
+    red_parser = obs_sub.add_parser(
+        "red", help="per-tenant rate/errors/duration rollup of a span file",
+    )
+    red_parser.add_argument("tracefile")
+    tail_parser = obs_sub.add_parser(
+        "tail", help="the last N spans of a span file",
+    )
+    tail_parser.add_argument("tracefile")
+    tail_parser.add_argument("-n", "--count", type=int, default=20)
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -232,6 +384,9 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         out(span_summary_table(spans))
         return 0
 
+    if args.command == "obs":
+        return _run_obs(args, parser, out)
+
     if args.command == "chaos":
         kwargs: dict[str, Any] = {"seed": args.seed, "window_s": args.window,
                                   "memservice": args.memservice}
@@ -247,8 +402,7 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
                 kwargs["rates"] = tuple(float(r) for r in args.rates.split(","))
             except ValueError:
                 parser.error(f"--rates expects comma-separated numbers, got {args.rates!r}")
-        collector = (TelemetryCollector()
-                     if args.trace or args.spans or args.metrics_out else None)
+        collector = _make_collector(args)
         t0 = time.perf_counter()
         if collector is not None:
             with collector:
@@ -269,8 +423,7 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
                 kwargs["factors"] = tuple(int(k) for k in args.factors.split(","))
             except ValueError:
                 parser.error(f"--factors expects comma-separated integers, got {args.factors!r}")
-        collector = (TelemetryCollector()
-                     if args.trace or args.spans or args.metrics_out else None)
+        collector = _make_collector(args)
         t0 = time.perf_counter()
         if collector is not None:
             with collector:
@@ -306,8 +459,7 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
                 parser.error(f"cannot load fault plan: {exc}")
         if args.no_crash:
             kwargs["crash"] = False
-        collector = (TelemetryCollector()
-                     if args.trace or args.spans or args.metrics_out else None)
+        collector = _make_collector(args)
         t0 = time.perf_counter()
         if collector is not None:
             with collector:
@@ -328,8 +480,7 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         return 0
 
     overrides = _parse_overrides(args.set)
-    telemetry_wanted = bool(args.trace or args.spans or args.metrics_out)
-    collector = TelemetryCollector() if telemetry_wanted else None
+    collector = _make_collector(args)
     # Fail on an unwritable export path up front, not after the run.
     for export_path in (args.trace, args.spans, args.metrics_out):
         if export_path:

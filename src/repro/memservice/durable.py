@@ -50,6 +50,7 @@ from ..rfaas.errors import DataLossError, MemoryServiceUnavailable
 from ..rfaas.load import NodeLoadRegistry
 from ..sim.engine import Environment, Process
 from ..telemetry import telemetry_of
+from ..telemetry.context import TraceContext
 from .memory_function import MemoryServiceFunction
 from .placement import ReplicaPlacement
 from .repair import RepairLoop
@@ -613,15 +614,20 @@ class DurableMemoryClient:
         self._conns.clear()
 
     # -- reads ----------------------------------------------------------------
-    def read(self, offset: int, size: int) -> Process:
+    def read(self, offset: int, size: int,
+             ctx: Optional[TraceContext] = None) -> Process:
         self.service.validate_access(offset, size)
 
         def run():
-            total = 0
-            for index, nbytes in self.service.chunk_span(offset, size):
-                total += yield from self._read_chunk(index, nbytes)
-            self.service.record_read(total)
-            return total
+            with self._tracer.span(
+                "memservice.read", track="memservice", ctx=ctx,
+                offset=offset, size=size,
+            ):
+                total = 0
+                for index, nbytes in self.service.chunk_span(offset, size):
+                    total += yield from self._read_chunk(index, nbytes)
+                self.service.record_read(total)
+                return total
 
         return self.env.process(run(), name="durable-read")
 
@@ -688,14 +694,19 @@ class DurableMemoryClient:
         self._m_failovers.inc()
 
     # -- writes ---------------------------------------------------------------
-    def write(self, offset: int, size: int) -> Process:
+    def write(self, offset: int, size: int,
+              ctx: Optional[TraceContext] = None) -> Process:
         self.service.validate_access(offset, size)
 
         def run():
-            total = 0
-            for index, nbytes in self.service.chunk_span(offset, size):
-                total += yield from self._write_chunk(index, nbytes)
-            return total
+            with self._tracer.span(
+                "memservice.write", track="memservice", ctx=ctx,
+                offset=offset, size=size,
+            ):
+                total = 0
+                for index, nbytes in self.service.chunk_span(offset, size):
+                    total += yield from self._write_chunk(index, nbytes)
+                return total
 
         return self.env.process(run(), name="durable-write")
 

@@ -27,6 +27,8 @@ from ..faults.recovery import DegradedResult, RecoveryOutcome, RetryPolicy
 from ..network.transport import Connection, NetworkFabric, TransferDropped
 from ..sim.engine import Environment
 from ..telemetry import telemetry_of
+from ..telemetry.context import TraceContext
+from ..telemetry.span import SpanKind
 from .errors import (
     InvocationTimeout,
     LeaseRevokedError,
@@ -217,7 +219,8 @@ class RFaaSClient:
         self._connection = None
 
     # -- invocation ---------------------------------------------------------------
-    def invoke(self, function: str, payload_bytes: int = 0, cores: int = 1):
+    def invoke(self, function: str, payload_bytes: int = 0, cores: int = 1,
+               ctx: Optional[TraceContext] = None):
         """Process: one invocation; yields an :class:`InvocationResult`.
 
         On lease cancellation mid-flight the client redirects to a fresh
@@ -226,30 +229,53 @@ class RFaaSClient:
         """
         fdef = self.functions.lookup(function)
         return self.env.process(
-            self._invoke(fdef, payload_bytes, cores), name=f"{self.name}-invoke-{function}"
+            self._invoke(fdef, payload_bytes, cores, ctx=ctx),
+            name=f"{self.name}-invoke-{function}",
         )
 
-    def invoke_detailed(self, function: str, payload_bytes: int = 0, cores: int = 1):
+    def invoke_detailed(self, function: str, payload_bytes: int = 0, cores: int = 1,
+                        ctx: Optional[TraceContext] = None):
         """Process: one invocation; yields a :class:`DegradedResult`.
 
         Same recovery loop as :meth:`invoke`, but the value carries the
         full recovery story: outcome, attempts, retries, backoff and
         recovery time, and the last platform error observed.
+
+        ``ctx`` joins the invocation to an existing causal trace (the
+        capacity plane passes the context it minted at admission); a
+        traced client with no ``ctx`` mints its own, so bare-client runs
+        still get one tree per request.
         """
         fdef = self.functions.lookup(function)
         return self.env.process(
-            self._invoke_detailed(fdef, payload_bytes, cores),
+            self._invoke_detailed(fdef, payload_bytes, cores, ctx=ctx),
             name=f"{self.name}-invoke-{function}",
         )
 
-    def _invoke(self, fdef: FunctionDef, payload_bytes: int, cores: int):
-        detailed = yield from self._invoke_detailed(fdef, payload_bytes, cores)
+    def _invoke(self, fdef: FunctionDef, payload_bytes: int, cores: int,
+                ctx: Optional[TraceContext] = None):
+        detailed = yield from self._invoke_detailed(fdef, payload_bytes, cores, ctx=ctx)
         return detailed.result
 
-    def _invoke_detailed(self, fdef: FunctionDef, payload_bytes: int, cores: int):
+    def _invoke_detailed(self, fdef: FunctionDef, payload_bytes: int, cores: int,
+                         ctx: Optional[TraceContext] = None):
         if self._closed:
             raise RFaaSError(f"client {self.name} is closed")
         policy = self.retry_policy
+        # Trace identity: one rfaas.request root per call; every retry
+        # attempt is a sibling span underneath it.  Nothing is minted
+        # when telemetry is off, keeping the untraced path allocation-free.
+        traced = self._tracer.enabled
+        root_span = None
+        req_ctx: Optional[TraceContext] = None
+        if traced:
+            if ctx is None:
+                ctx = TraceContext.mint()
+            root_span = self._tracer.begin(
+                SpanKind.REQUEST, track=f"{self.name}/requests", ctx=ctx,
+                function=fdef.name, client=self.name,
+            )
+            req_ctx = ctx.child(root_span.span_id)
         request = InvocationRequest(function=fdef.name, payload_bytes=payload_bytes)
         exclude: tuple[str, ...] = ()
         resume_offset = 0.0
@@ -278,8 +304,13 @@ class RFaaSClient:
                            RecoveryOutcome.TIMED_OUT):
                 self._tracer.instant(
                     f"recovery.{outcome.value}", track=f"{self.name}/recovery",
-                    function=fdef.name, attempts=attempts,
+                    ctx=req_ctx, function=fdef.name, attempts=attempts,
                     recovery_s=recovery,
+                )
+            if root_span is not None:
+                self._tracer.finish(
+                    root_span, outcome=outcome.value, attempts=attempts,
+                    status=result.status.value,
                 )
             return degraded
 
@@ -303,101 +334,120 @@ class RFaaSClient:
             if deadline is not None and self.env.now >= deadline:
                 return timed_out()
             attempts += 1
-            try:
-                yield from self._ensure_lease(fdef, cores, exclude)
-            except NoCapacityError as err:
-                last_error = err
-                return finish(
-                    InvocationResult(request=request, status=InvocationStatus.REJECTED),
-                    RecoveryOutcome.REJECTED,
-                )
-            except LeaseRevokedError as err:
-                last_error = err
-                if first_failure is None:
-                    first_failure = self.env.now
-                if policy.exclude_failed_nodes and err.node_name is not None:
-                    exclude = exclude + (err.node_name,)
-                self.redirects += 1
-                self._note_retry("revoked", err.node_name, attempts)
-                if self._closed:
-                    break
-                continue
-            executor, connection = self._executor, self._connection
-            if executor is None or connection is None:
-                # The lease was cancelled between setup and use (e.g. an
-                # immediate reclaim raced us); try again elsewhere.
-                if first_failure is None:
-                    first_failure = self.env.now
-                self.redirects += 1
-                self._note_retry("race", None, attempts)
-                continue
-            t_start = self.env.now
-            self._inflight[connection] = self._inflight.get(connection, 0) + 1
-            try:
-                yield connection.send(payload_bytes)
-                network_out = self.env.now - t_start
-                if resume_offset:
-                    request = replace(request, resume_offset_s=resume_offset)
-                if deadline is None:
-                    result: InvocationResult = yield executor.execute(fdef, request)
-                else:
-                    if deadline - self.env.now <= 0:
-                        return timed_out()
-                    result = yield from self._execute_with_deadline(
-                        executor, fdef, request, deadline
+            # Each attempt is one sibling span under the request root, so
+            # a retry after a node crash stays inside the same trace.
+            with self._tracer.span(
+                SpanKind.ATTEMPT, track=f"{self.name}/requests",
+                ctx=req_ctx, attempt=attempts,
+            ) as attempt_span:
+                if traced:
+                    request = replace(
+                        request, trace=req_ctx.child(attempt_span.span_id)
                     )
-                if result.status == InvocationStatus.REJECTED:
-                    # Executor started draining between lease and dispatch.
+                try:
+                    yield from self._ensure_lease(fdef, cores, exclude)
+                except NoCapacityError as err:
+                    last_error = err
+                    attempt_span.set(outcome="rejected")
+                    return finish(
+                        InvocationResult(request=request, status=InvocationStatus.REJECTED),
+                        RecoveryOutcome.REJECTED,
+                    )
+                except LeaseRevokedError as err:
+                    last_error = err
                     if first_failure is None:
                         first_failure = self.env.now
+                    if policy.exclude_failed_nodes and err.node_name is not None:
+                        exclude = exclude + (err.node_name,)
+                    self.redirects += 1
+                    attempt_span.set(outcome="revoked")
+                    self._note_retry("revoked", err.node_name, attempts)
+                    if self._closed:
+                        break
+                    continue
+                executor, connection = self._executor, self._connection
+                if executor is None or connection is None:
+                    # The lease was cancelled between setup and use (e.g. an
+                    # immediate reclaim raced us); try again elsewhere.
+                    if first_failure is None:
+                        first_failure = self.env.now
+                    self.redirects += 1
+                    attempt_span.set(outcome="race")
+                    self._note_retry("race", None, attempts)
+                    continue
+                t_start = self.env.now
+                self._inflight[connection] = self._inflight.get(connection, 0) + 1
+                try:
+                    yield connection.send(payload_bytes)
+                    network_out = self.env.now - t_start
+                    if resume_offset:
+                        request = replace(request, resume_offset_s=resume_offset)
+                    if deadline is None:
+                        result: InvocationResult = yield executor.execute(fdef, request)
+                    else:
+                        if deadline - self.env.now <= 0:
+                            attempt_span.set(outcome="timeout")
+                            return timed_out()
+                        result = yield from self._execute_with_deadline(
+                            executor, fdef, request, deadline
+                        )
+                    if result.status == InvocationStatus.REJECTED:
+                        # Executor started draining between lease and dispatch.
+                        if first_failure is None:
+                            first_failure = self.env.now
+                        if policy.exclude_failed_nodes:
+                            exclude = exclude + (executor.node.name,)
+                        self.redirects += 1
+                        attempt_span.set(outcome="rejected")
+                        self._note_retry("rejected", executor.node.name, attempts)
+                        continue
+                    t_back = self.env.now
+                    yield connection.recv_response(result.output_bytes)
+                    result.timings.network_out = network_out
+                    result.timings.network_back = self.env.now - t_back
+                    if self._connection is not connection:
+                        # Lease was cancelled while we were in flight; the
+                        # response has landed, so the old connection can go
+                        # (once every other in-flight user drains off it).
+                        self._stale.add(connection)
+                    outcome = (RecoveryOutcome.OK if first_failure is None
+                               else RecoveryOutcome.RECOVERED)
+                    attempt_span.set(outcome="ok", node=result.node_name)
+                    return finish(result, outcome)
+                except TerminationError as term:
+                    if term.cause == _TIMEOUT_CAUSE:
+                        attempt_span.set(outcome="timeout")
+                        return timed_out()
+                    # Reclaimed mid-flight: redirect to a new lease, resuming
+                    # from the checkpoint if the function supports it.
+                    last_error = term
+                    if first_failure is None:
+                        first_failure = self.env.now
+                    resume_offset = max(resume_offset, term.checkpoint_s)
                     if policy.exclude_failed_nodes:
                         exclude = exclude + (executor.node.name,)
                     self.redirects += 1
-                    self._note_retry("rejected", executor.node.name, attempts)
+                    if self._lease is not None and not self._lease.active:
+                        self._lease = None
+                    attempt_span.set(outcome="termination")
+                    self._note_retry("termination", executor.node.name, attempts)
                     continue
-                t_back = self.env.now
-                yield connection.recv_response(result.output_bytes)
-                result.timings.network_out = network_out
-                result.timings.network_back = self.env.now - t_back
-                if self._connection is not connection:
-                    # Lease was cancelled while we were in flight; the
-                    # response has landed, so the old connection can go
-                    # (once every other in-flight user drains off it).
-                    self._stale.add(connection)
-                outcome = (RecoveryOutcome.OK if first_failure is None
-                           else RecoveryOutcome.RECOVERED)
-                return finish(result, outcome)
-            except TerminationError as term:
-                if term.cause == _TIMEOUT_CAUSE:
-                    return timed_out()
-                # Reclaimed mid-flight: redirect to a new lease, resuming
-                # from the checkpoint if the function supports it.
-                last_error = term
-                if first_failure is None:
-                    first_failure = self.env.now
-                resume_offset = max(resume_offset, term.checkpoint_s)
-                if policy.exclude_failed_nodes:
-                    exclude = exclude + (executor.node.name,)
-                self.redirects += 1
-                if self._lease is not None and not self._lease.active:
-                    self._lease = None
-                self._note_retry("termination", executor.node.name, attempts)
-                continue
-            except TransferDropped as drop:
-                # The path to the node is broken (partition / loss); the
-                # lease itself may be fine but is unreachable — give it
-                # back and redirect.
-                last_error = drop
-                if first_failure is None:
-                    first_failure = self.env.now
-                self._abandon_connection(connection)
-                if policy.exclude_failed_nodes:
-                    exclude = exclude + (executor.node.name,)
-                self.redirects += 1
-                self._note_retry("dropped", executor.node.name, attempts)
-                continue
-            finally:
-                self._release_inflight(connection)
+                except TransferDropped as drop:
+                    # The path to the node is broken (partition / loss); the
+                    # lease itself may be fine but is unreachable — give it
+                    # back and redirect.
+                    last_error = drop
+                    if first_failure is None:
+                        first_failure = self.env.now
+                    self._abandon_connection(connection)
+                    if policy.exclude_failed_nodes:
+                        exclude = exclude + (executor.node.name,)
+                    self.redirects += 1
+                    attempt_span.set(outcome="dropped")
+                    self._note_retry("dropped", executor.node.name, attempts)
+                    continue
+                finally:
+                    self._release_inflight(connection)
         return finish(
             InvocationResult(request=request, status=InvocationStatus.TERMINATED),
             RecoveryOutcome.GAVE_UP,

@@ -286,7 +286,8 @@ class Executor:
         track = self._track
         try:
             with tracer.span(
-                SpanKind.INVOCATION, track=track, function=fdef.name,
+                SpanKind.INVOCATION, track=track, ctx=request.trace,
+                function=fdef.name,
                 invocation=request.invocation_id, mode=self.mode,
             ) as inv_span, self.slots.request() as slot:
                 yield slot

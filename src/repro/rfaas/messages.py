@@ -7,6 +7,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.telemetry.context import TraceContext
+
 __all__ = ["InvocationStatus", "InvocationRequest", "InvocationResult", "Timings"]
 
 _invocation_ids = itertools.count(1)
@@ -29,6 +31,9 @@ class InvocationRequest:
     # Completed work (seconds of nominal runtime) restored from a
     # checkpoint after a termination; 0 = fresh start.
     resume_offset_s: float = 0.0
+    # Causal trace identity carried across the client -> executor hop;
+    # None when telemetry is off (the common case) or for bare sends.
+    trace: Optional[TraceContext] = field(default=None, compare=False)
 
     def __post_init__(self):
         if self.payload_bytes < 0:

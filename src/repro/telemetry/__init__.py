@@ -35,13 +35,47 @@ from .provider import (
     install,
     telemetry_of,
 )
+from .causal import (
+    critical_path,
+    critical_path_table,
+    trace_index,
+    trace_root,
+    trace_summaries,
+)
+from .context import TraceContext
 from .span import Span, SpanKind
+from .streaming import (
+    FlightRecorder,
+    JsonlStreamWriter,
+    P2Quantile,
+    RedAggregator,
+    SloConfig,
+    SloMonitor,
+    SpanPipeline,
+    StreamConfig,
+    StreamStats,
+)
 from .summary import span_kind_stats, span_summary_table, utilization_summary
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
     "Span",
     "SpanKind",
+    "TraceContext",
+    "P2Quantile",
+    "StreamStats",
+    "JsonlStreamWriter",
+    "FlightRecorder",
+    "RedAggregator",
+    "SloConfig",
+    "SloMonitor",
+    "StreamConfig",
+    "SpanPipeline",
+    "trace_index",
+    "trace_root",
+    "trace_summaries",
+    "critical_path",
+    "critical_path_table",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

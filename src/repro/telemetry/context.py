@@ -1,0 +1,72 @@
+"""Causal trace context: one identity for a request's whole journey.
+
+A :class:`TraceContext` is the pair ``(trace_id, span_id)`` that a
+request carries from hop to hop — admission queue, warm-pool
+acquisition, executor dispatch, retry re-attempts after a crash, the
+cloud-burst detour, memory-service quorum writes — so that every span
+recorded anywhere on its behalf joins **one causal tree** keyed by
+``trace_id``, even when the request crosses a node death and resumes on
+different hardware.
+
+Mechanics:
+
+* the *front door* (``CapacityPlane`` admission, or a bare
+  ``RFaaSClient`` when no plane governs it) **mints** a fresh context
+  with :meth:`TraceContext.mint` and opens the root span;
+* every span opened *under* that context links ``parent_id`` to the
+  context's ``span_id`` and stamps ``trace_id`` into its attrs;
+* crossing a process boundary (client → executor, plane → admission
+  queue) the caller derives a :meth:`child` context from the span it
+  just opened, so the callee's spans nest underneath it.
+
+Trace ids are drawn from a plain module-level counter: no randomness is
+consumed and no simulation events are scheduled, which preserves the
+telemetry subsystem's determinism contract (traced and untraced runs
+replay identical event timelines).  Like span ids, trace ids are
+deterministic within one interpreter, so exports are byte-identical
+across fresh interpreter runs of the same seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+__all__ = ["TraceContext"]
+
+_trace_ids = itertools.count(1)
+
+
+class TraceContext:
+    """Immutable (trace_id, span_id) pair threaded through invocation hops."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: Optional[int] = None):
+        object.__setattr__(self, "trace_id", trace_id)
+        object.__setattr__(self, "span_id", span_id)
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("TraceContext is immutable")
+
+    @classmethod
+    def mint(cls, span_id: Optional[int] = None) -> "TraceContext":
+        """A fresh trace identity (deterministic counter, no RNG)."""
+        return cls(next(_trace_ids), span_id)
+
+    def child(self, span_id: int) -> "TraceContext":
+        """The same trace, re-anchored under ``span_id``."""
+        return TraceContext(self.trace_id, span_id)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and self.trace_id == other.trace_id
+            and self.span_id == other.span_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TraceContext trace={self.trace_id} span={self.span_id}>"

@@ -48,24 +48,43 @@ def _spans_from_chrome(payload: Union[dict, list]) -> List[Span]:
             continue
         args = dict(event.get("args", {}))
         track = args.pop("track", f"{event.get('pid', 0)}/{event.get('tid', 0)}")
+        span_id = args.pop("span_id", None)
         start = event["ts"] / 1e6
         span = Span(event.get("name", "?"), start, track=track,
                     parent_id=args.pop("parent_id", None), attrs=args)
         span.end = start + event.get("dur", 0) / 1e6
+        if span_id is not None:
+            span.span_id = span_id
         spans.append(span)
     return spans
 
 
 def load_spans(path: str) -> List[Span]:
-    """Read spans back from a JSONL dump *or* a Chrome trace JSON."""
+    """Read spans back from a JSONL dump *or* a Chrome trace JSON.
+
+    Format detection is explicit rather than try-and-fall-through: a
+    Chrome trace is exactly one JSON document that is either a dict
+    carrying ``traceEvents`` or a bare event list.  Everything else —
+    including a *single-line* JSONL file, whose lone object also parses
+    as a top-level dict — is read as per-line JSONL, so a one-span dump
+    can never be misrouted through the Chrome parser (which would
+    silently drop it for lack of ``ph`` slices).
+    """
     with open(path, "r", encoding="utf-8") as fh:
         text = fh.read()
-    stripped = text.lstrip()
+    stripped = text.strip()
+    if not stripped:
+        return []
+    payload = None
     if stripped.startswith(("[", "{")):
         try:
-            return _spans_from_chrome(json.loads(text))
-        except (json.JSONDecodeError, KeyError, TypeError):
-            pass  # fall through: maybe a one-line JSONL file
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None      # multi-line JSONL: not one JSON document
+    if isinstance(payload, list) or (
+        isinstance(payload, dict) and "traceEvents" in payload
+    ):
+        return _spans_from_chrome(payload)
     spans = []
     for line in text.splitlines():
         line = line.strip()
@@ -143,13 +162,22 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus exposition spec: ``\\``, ``"``, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _labels(metric, extra: dict | None = None) -> str:
     pairs = list(metric.labels)
     if extra:
         pairs.extend((k, str(v)) for k, v in extra.items())
     if not pairs:
         return ""
-    return "{%s}" % ",".join(f'{k}="{v}"' for k, v in sorted(pairs))
+    return "{%s}" % ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(pairs)
+    )
 
 
 def prometheus_text(registries: Union[MetricsRegistry, Iterable[MetricsRegistry]]) -> str:

@@ -46,7 +46,7 @@ class Telemetry:
         self,
         env: Any = None,
         clock: Optional[Callable[[], float]] = None,
-        sink: Optional[List[Span]] = None,
+        sink: Optional[Any] = None,
         scope: str = "",
     ):
         if clock is None:
@@ -63,7 +63,7 @@ class Telemetry:
         self.metrics = MetricsRegistry(clock, scope=scope)
 
     @property
-    def spans(self) -> List[Span]:
+    def spans(self) -> Any:
         return self.tracer.spans
 
     def install(self, env: Any) -> "Telemetry":
@@ -96,8 +96,13 @@ class TelemetryCollector:
     must stay monotone per clock.
     """
 
-    def __init__(self):
-        self.spans: List[Span] = []
+    def __init__(self, pipeline: Optional[Any] = None):
+        # ``pipeline`` (any ``append``-able, usually a
+        # :class:`~repro.telemetry.streaming.SpanPipeline`) replaces the
+        # accumulate-everything list: spans are processed as they close
+        # and only the pipeline's bounded tail stays iterable here.
+        self.spans: Any = pipeline if pipeline is not None else []
+        self.pipeline = pipeline
         self.scopes: List[Telemetry] = []
         self._wall: Optional[Telemetry] = None
 

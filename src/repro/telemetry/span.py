@@ -20,6 +20,10 @@ _span_ids = itertools.count(1)
 class SpanKind:
     """Well-known span names (the taxonomy in docs/observability.md)."""
 
+    REQUEST = "rfaas.request"            # client-side root of one request
+    ATTEMPT = "rfaas.attempt"            # one try; retries are siblings
+    CAPACITY = "capacity.invocation"     # governed front-door root
+    SLO_BREACH = "slo.breach"            # burn-rate breach instant
     INVOCATION = "rfaas.invocation"
     DISPATCH = "rfaas.dispatch"
     SANDBOX = "rfaas.sandbox"
@@ -89,6 +93,11 @@ class Span:
             attrs=data.get("attrs"),
         )
         span.end = data.get("end")
+        # Restore the recorded identity: parent links in a loaded dump
+        # refer to the *original* ids, not whatever the counter of this
+        # interpreter would hand out next.
+        if "span_id" in data:
+            span.span_id = data["span_id"]
         return span
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

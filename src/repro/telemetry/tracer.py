@@ -25,26 +25,55 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, List, Optional
 
+from .context import TraceContext
 from .span import Span
 
 __all__ = ["Tracer", "NullTracer", "NULL_TRACER"]
 
 
 class Tracer:
-    """Records spans stamped from ``clock`` into ``sink``."""
+    """Records spans stamped from ``clock`` into ``sink``.
+
+    ``sink`` is anything with ``append`` — a plain list (the default) or
+    a streaming :class:`~repro.telemetry.streaming.SpanPipeline` that
+    processes each span incrementally instead of retaining it.
+
+    Spans accept an optional ``ctx`` (:class:`TraceContext`): when the
+    calling process has no open local span, the new span parents to
+    ``ctx.span_id`` and stamps ``ctx.trace_id`` into its attrs; nested
+    spans inherit ``trace_id`` from their local parent automatically, so
+    one context at the top of a hop tags the whole subtree.
+    """
 
     enabled = True
 
     def __init__(
         self,
         clock: Callable[[], float],
-        sink: Optional[List[Span]] = None,
+        sink: Optional[Any] = None,
         key_fn: Optional[Callable[[], Any]] = None,
     ):
         self.clock = clock
-        self.spans: List[Span] = sink if sink is not None else []
+        self.spans = sink if sink is not None else []
         self._key_fn = key_fn if key_fn is not None else (lambda: None)
         self._stacks: dict[Any, list[Span]] = {}
+
+    @staticmethod
+    def _link(parent: Optional[Span], ctx: Optional[TraceContext],
+              attrs: dict) -> Optional[int]:
+        """Resolve parent id + trace_id inheritance for a new span."""
+        if parent is not None:
+            if "trace_id" not in attrs:
+                tid = parent.attrs.get("trace_id")
+                if tid is None and ctx is not None:
+                    tid = ctx.trace_id
+                if tid is not None:
+                    attrs["trace_id"] = tid
+            return parent.span_id
+        if ctx is not None:
+            attrs.setdefault("trace_id", ctx.trace_id)
+            return ctx.span_id
+        return None
 
     # -- implicit-parent context-manager API ---------------------------------
     def current(self) -> Optional[Span]:
@@ -53,18 +82,20 @@ class Tracer:
         return stack[-1] if stack else None
 
     @contextmanager
-    def span(self, name: str, track: str = "main", **attrs: Any) -> Iterator[Span]:
-        """Open a child of the calling process's current span."""
+    def span(self, name: str, track: str = "main",
+             ctx: Optional[TraceContext] = None, **attrs: Any) -> Iterator[Span]:
+        """Open a child of the calling process's current span (or ``ctx``)."""
         # Inlined current(): one key_fn call and one dict lookup instead
         # of two of each on this per-span hot path.
         key = self._key_fn()
         stack = self._stacks.setdefault(key, [])
         parent = stack[-1] if stack else None
+        parent_id = self._link(parent, ctx, attrs)
         record = Span(
             name,
             self.clock(),
             track=track,
-            parent_id=parent.span_id if parent else None,
+            parent_id=parent_id,
             attrs=attrs,
         )
         stack.append(record)
@@ -84,26 +115,30 @@ class Tracer:
             if not stack:
                 self._stacks.pop(key, None)
 
-    def instant(self, name: str, track: str = "main", **attrs: Any) -> Span:
+    def instant(self, name: str, track: str = "main",
+                ctx: Optional[TraceContext] = None, **attrs: Any) -> Span:
         """A zero-duration marker (e.g. a lease grant or an eviction)."""
         now = self.clock()
         parent = self.current()
-        record = Span(
-            name, now, track=track,
-            parent_id=parent.span_id if parent else None, attrs=attrs,
-        )
+        parent_id = self._link(parent, ctx, attrs)
+        record = Span(name, now, track=track, parent_id=parent_id, attrs=attrs)
         record.end = now
         self.spans.append(record)
         return record
 
     # -- explicit-lifetime API ------------------------------------------------
-    def begin(self, name: str, track: str = "main", **attrs: Any) -> Span:
+    def begin(self, name: str, track: str = "main",
+              ctx: Optional[TraceContext] = None, **attrs: Any) -> Span:
         """Open a span whose end is not lexically scoped (e.g. a batch job).
 
         The span is recorded only when :meth:`finish` closes it, so an
-        abandoned span never corrupts an export.
+        abandoned span never corrupts an export.  Explicit-lifetime
+        spans never join the per-process stack; a ``ctx`` is the only
+        way to parent them.
         """
-        return Span(name, self.clock(), track=track, attrs=attrs)
+        parent_id = self._link(None, ctx, attrs)
+        return Span(name, self.clock(), track=track, parent_id=parent_id,
+                    attrs=attrs)
 
     def finish(self, span: Span, **attrs: Any) -> Span:
         if span.end is not None:
@@ -152,13 +187,16 @@ class NullTracer:
     def current(self) -> Optional[Span]:
         return None
 
-    def span(self, name: str, track: str = "main", **attrs: Any) -> _NullContext:
+    def span(self, name: str, track: str = "main",
+             ctx: Optional[TraceContext] = None, **attrs: Any) -> _NullContext:
         return _NULL_CONTEXT
 
-    def instant(self, name: str, track: str = "main", **attrs: Any) -> Span:
+    def instant(self, name: str, track: str = "main",
+                ctx: Optional[TraceContext] = None, **attrs: Any) -> Span:
         return _NULL_SPAN
 
-    def begin(self, name: str, track: str = "main", **attrs: Any) -> Span:
+    def begin(self, name: str, track: str = "main",
+              ctx: Optional[TraceContext] = None, **attrs: Any) -> Span:
         return _NULL_SPAN
 
     def finish(self, span: Span, **attrs: Any) -> Span:

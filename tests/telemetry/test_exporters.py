@@ -105,3 +105,91 @@ def test_prometheus_merges_scopes_without_duplicate_headers():
     assert text.count("# TYPE repro_test_things_total counter") == 1
     assert 'repro_test_things_total{scope="sim0"} 1' in text
     assert 'repro_test_things_total{scope="sim1"} 2' in text
+
+
+# -- format sniffing ----------------------------------------------------------
+
+def test_load_spans_single_line_jsonl_is_not_misread_as_chrome(tmp_path):
+    """One span -> one JSON object: the old try-Chrome-first sniffing
+    parsed it as an (empty) event list and silently dropped the span."""
+    span = Span("solo", 1.0, attrs={"k": "v"})
+    span.end = 2.0
+    path = str(tmp_path / "one.jsonl")
+    write_spans_jsonl([span], path)
+    (loaded,) = load_spans(path)
+    assert loaded.name == "solo"
+    assert loaded.span_id == span.span_id
+    assert loaded.attrs == {"k": "v"}
+
+
+def test_load_spans_jsonl_with_traceevents_attr_stays_jsonl(tmp_path):
+    """A JSONL span whose *attrs* mention traceEvents must not be routed
+    through the Chrome parser."""
+    span = Span("tricky", 0.0, attrs={"traceEvents": "red-herring"})
+    span.end = 1.0
+    path = str(tmp_path / "tricky.jsonl")
+    write_spans_jsonl([span], path)
+    (loaded,) = load_spans(path)
+    assert loaded.name == "tricky"
+
+
+def test_load_spans_reads_bare_chrome_event_list(tmp_path):
+    path = str(tmp_path / "events.json")
+    events = chrome_trace_events(sample_spans())
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(events, fh)
+    loaded = load_spans(path)
+    assert {s.name for s in loaded} == {"outer", "inner", "evt"}
+
+
+def test_load_spans_empty_and_blank_files(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    blank = tmp_path / "blank.jsonl"
+    blank.write_text("\n\n  \n")
+    assert load_spans(str(empty)) == []
+    assert load_spans(str(blank)) == []
+
+
+def test_load_spans_round_trips_identity(tmp_path):
+    """span_id/parent_id survive both formats, so causal analysis works
+    on loaded dumps, not just live collectors."""
+    spans = sample_spans()
+    jsonl = str(tmp_path / "s.jsonl")
+    chrome = str(tmp_path / "s.json")
+    write_spans_jsonl(spans, jsonl)
+    write_chrome_trace(spans, chrome)
+    for path in (jsonl, chrome):
+        by_name = {s.name: s for s in load_spans(path)}
+        original = {s.name: s for s in spans}
+        assert by_name["inner"].span_id == original["inner"].span_id
+        assert by_name["inner"].parent_id == original["outer"].span_id
+
+
+# -- label-value escaping -----------------------------------------------------
+
+def test_prometheus_escapes_hostile_label_values():
+    registry = MetricsRegistry(clock=lambda: 0.0, scope="sim0")
+    registry.counter(
+        "repro_test_things_total",
+        labels={"tenant": 'evil"} 1\nfake_metric 2\\'},
+    ).inc()
+    text = prometheus_text(registry)
+    # The hostile value stays inside one quoted label: backslash first,
+    # then quotes, then newlines, per the exposition-format spec.
+    assert '\\"} 1\\nfake_metric 2\\\\' in text
+    assert "\nfake_metric" not in text          # no injected sample line
+    (sample,) = [line for line in text.splitlines()
+                 if not line.startswith("#")]
+    assert sample.endswith(" 1")
+
+
+def test_prometheus_escaping_is_spec_exact():
+    from repro.telemetry.exporters import _escape_label_value
+
+    assert _escape_label_value('a"b') == 'a\\"b'
+    assert _escape_label_value("a\\b") == "a\\\\b"
+    assert _escape_label_value("a\nb") == "a\\nb"
+    # Backslash is escaped first so escapes are not double-mangled.
+    assert _escape_label_value('\\"') == '\\\\\\"'
+    assert _escape_label_value("plain") == "plain"

@@ -1,0 +1,282 @@
+"""Streaming pipeline tests: P² accuracy, bounded memory, RED, SLO burn.
+
+The bounded-memory assertions are the PR's acceptance criterion: the
+pipeline must retain at most ``ring_capacity`` spans no matter how long
+the stream runs — 100k spans in, ring-sized tail out.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    FlightRecorder,
+    JsonlStreamWriter,
+    MetricsRegistry,
+    P2Quantile,
+    RedAggregator,
+    SloConfig,
+    SloMonitor,
+    Span,
+    SpanKind,
+    SpanPipeline,
+    StreamConfig,
+    StreamStats,
+)
+
+
+# -- P² quantile estimator ----------------------------------------------------
+
+def test_p2_exact_below_five_observations():
+    est = P2Quantile(0.5)
+    assert math.isnan(est.value)
+    for x in (5.0, 1.0, 3.0):
+        est.observe(x)
+    assert est.value == 3.0          # exact nearest-rank median of {1,3,5}
+
+
+def test_p2_rejects_degenerate_quantiles():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+@pytest.mark.parametrize("p", [0.5, 0.95, 0.99])
+def test_p2_tracks_numpy_on_lognormal_stream(p):
+    rng = np.random.default_rng(42)
+    samples = rng.lognormal(mean=0.0, sigma=0.5, size=50_000)
+    est = P2Quantile(p)
+    for x in samples:
+        est.observe(float(x))
+    exact = float(np.percentile(samples, p * 100))
+    assert est.value == pytest.approx(exact, rel=0.02)
+
+
+def test_p2_tracks_numpy_on_uniform_stream():
+    rng = np.random.default_rng(7)
+    samples = rng.uniform(0.0, 100.0, size=20_000)
+    est = P2Quantile(0.9)
+    for x in samples:
+        est.observe(float(x))
+    assert est.value == pytest.approx(90.0, rel=0.05)
+
+
+def test_p2_memory_is_five_markers():
+    est = P2Quantile(0.99)
+    for i in range(10_000):
+        est.observe(float(i))
+    # Constant state regardless of stream length: five heights/positions.
+    assert len(est._q) == 5 and len(est._pos) == 5
+    assert est.count == 10_000
+
+
+def test_stream_stats_snapshot_keys():
+    stats = StreamStats()
+    for x in (1.0, 2.0, 3.0, 4.0):
+        stats.observe(x)
+    snap = stats.snapshot()
+    assert snap["count"] == 4
+    assert snap["sum"] == 10.0
+    assert snap["mean"] == 2.5
+    assert snap["min"] == 1.0 and snap["max"] == 4.0
+    assert {"p50", "p95", "p99"} <= set(snap)
+
+
+# -- sinks --------------------------------------------------------------------
+
+def make_span(name, start, duration=0.01, parent_id=None, **attrs):
+    span = Span(name, start, parent_id=parent_id, attrs=attrs)
+    span.end = start + duration
+    return span
+
+
+def test_jsonl_writer_streams_and_flushes(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    writer = JsonlStreamWriter(path, flush_every=2)
+    writer.append(make_span("a", 0.0))
+    writer.append(make_span("b", 1.0))       # hits the flush threshold
+    assert len(path.read_text().strip().splitlines()) == 2
+    writer.close()
+    writer.append(make_span("c", 2.0))       # ignored after close
+    assert writer.written == 2
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["name"] for r in records] == ["a", "b"]
+
+
+def test_flight_recorder_ring_and_snapshots():
+    recorder = FlightRecorder(capacity=4, trigger_prefixes=("fault.",),
+                              snapshot_limit=2)
+    for i in range(10):
+        recorder.append(make_span(f"s{i}", float(i)))
+    assert len(recorder) == 4                # ring holds only the tail
+    assert [s.name for s in recorder] == ["s6", "s7", "s8", "s9"]
+    recorder.append(make_span("fault.node_crash", 10.0, node="n0001"))
+    assert recorder.triggers == 1
+    (snap,) = recorder.snapshots
+    assert snap["trigger"] == "fault.node_crash"
+    # The snapshot preserved the spans leading up to the incident.
+    assert [s.name for s in snap["spans"]][-1] == "fault.node_crash"
+    assert len(snap["spans"]) == 4
+
+
+# -- RED rollup ---------------------------------------------------------------
+
+def request_root(tenant, start, duration=0.01, route="hpc"):
+    return make_span(SpanKind.CAPACITY, start, duration=duration,
+                     tenant=tenant, route=route)
+
+
+def test_red_counts_once_per_request():
+    red = RedAggregator(MetricsRegistry(lambda: 0.0, scope="t"))
+    red.observe(request_root("a", 0.0))
+    red.observe(request_root("a", 1.0, route="rejected"))
+    red.observe(request_root("b", 2.0))
+    # Child spans of a governed request must not double-count.
+    red.observe(make_span(SpanKind.REQUEST, 2.0, parent_id=123, tenant="b"))
+    red.observe(make_span(SpanKind.INVOCATION, 2.0, tenant="b"))
+    rows = {row["tenant"]: row for row in red.table()}
+    assert rows["a"]["count"] == 2 and rows["a"]["errors"] == 1
+    assert rows["b"]["count"] == 1 and rows["b"]["errors"] == 0
+
+
+def test_red_counts_bare_client_requests():
+    red = RedAggregator(MetricsRegistry(lambda: 0.0, scope="t"))
+    red.observe(make_span(SpanKind.REQUEST, 0.0, client="solo", outcome="ok"))
+    red.observe(make_span(SpanKind.REQUEST, 1.0, client="solo",
+                          outcome="gave_up"))
+    (row,) = red.table()
+    assert row["tenant"] == "solo"
+    assert row["count"] == 2 and row["errors"] == 1
+
+
+# -- SLO burn-rate monitor ----------------------------------------------------
+
+def test_slo_breach_fires_once_per_episode():
+    config = SloConfig(latency_threshold_s=0.1, error_budget=0.1,
+                       window_s=10.0, buckets=10, burn_threshold=1.0)
+    monitor = SloMonitor(MetricsRegistry(lambda: 0.0, scope="t"), config)
+    # Fast requests: no breach.
+    for i in range(5):
+        assert monitor.observe(request_root("a", i * 0.1)) is None
+    # A burst of slow requests blows the 10% budget: one breach span...
+    breaches = [monitor.observe(request_root("a", 1.0 + i * 0.1, duration=0.5))
+                for i in range(5)]
+    fired = [b for b in breaches if b is not None]
+    assert len(fired) == 1
+    assert fired[0].name == SpanKind.SLO_BREACH
+    assert fired[0].attrs["tenant"] == "a"
+    assert fired[0].attrs["burn_rate"] >= 1.0
+    # ...and the episode does not re-fire while the burn persists.
+    assert monitor.observe(request_root("a", 3.0, duration=0.5)) is None
+    assert len(monitor.breaches) == 1
+
+
+def test_slo_rearms_after_rate_recovers():
+    config = SloConfig(latency_threshold_s=0.1, error_budget=0.5,
+                       window_s=1.0, buckets=2, burn_threshold=1.0)
+    monitor = SloMonitor(MetricsRegistry(lambda: 0.0, scope="t"), config)
+    assert monitor.observe(request_root("a", 0.0, duration=0.5)) is not None
+    # The window slides past the bad bucket; plenty of good requests.
+    for i in range(20):
+        monitor.observe(request_root("a", 2.0 + i * 0.1, duration=0.01))
+    assert monitor.burn_rate("a") < 1.0
+    # A fresh burn episode fires a second breach.
+    fired = [monitor.observe(request_root("a", 10.0 + i * 0.1, duration=0.5))
+             for i in range(6)]
+    assert any(b is not None for b in fired)
+    assert len(monitor.breaches) == 2
+
+
+def test_slo_tenants_are_independent():
+    config = SloConfig(latency_threshold_s=0.1, error_budget=0.1,
+                       window_s=10.0, buckets=10)
+    monitor = SloMonitor(MetricsRegistry(lambda: 0.0, scope="t"), config)
+    for i in range(5):
+        monitor.observe(request_root("slow", i * 0.1, duration=0.5))
+        monitor.observe(request_root("fast", i * 0.1, duration=0.01))
+    assert monitor.burn_rate("slow") > 1.0
+    assert monitor.burn_rate("fast") == 0.0
+    assert {b.attrs["tenant"] for b in monitor.breaches} == {"slow"}
+
+
+def test_slo_config_validation():
+    with pytest.raises(ValueError):
+        SloConfig(latency_threshold_s=0.0)
+    with pytest.raises(ValueError):
+        SloConfig(error_budget=1.5)
+    with pytest.raises(ValueError):
+        SloConfig(buckets=0)
+    with pytest.raises(ValueError):
+        SloConfig(burn_threshold=0.0)
+
+
+# -- the pipeline: bounded memory end to end ---------------------------------
+
+def test_pipeline_memory_is_bounded_by_ring_capacity(tmp_path):
+    """Acceptance: >= 100k spans in, peak retained <= ring size."""
+    ring = 512
+    path = tmp_path / "stream.jsonl"
+    pipeline = SpanPipeline(StreamConfig(ring_capacity=ring, flush_every=64),
+                            stream_path=path)
+    total = 100_000
+    for i in range(total):
+        pipeline.append(request_root(f"t{i % 4}", i * 1e-3))
+    pipeline.close()
+    assert pipeline.seen == total
+    assert pipeline.peak_retained <= ring
+    assert len(pipeline) == ring             # iteration yields only the tail
+    # Nothing was lost: the full stream is on disk.
+    assert pipeline.writer.written == total
+    assert sum(1 for _ in path.open()) == total
+    # And the online rollups saw everything without retaining samples.
+    assert sum(s.count for s in pipeline.red.tenants.values()) == total
+
+
+def test_pipeline_breach_spans_join_the_stream(tmp_path):
+    config = StreamConfig(
+        ring_capacity=64,
+        slo=SloConfig(latency_threshold_s=0.01, error_budget=0.01,
+                      window_s=10.0, buckets=10),
+    )
+    path = tmp_path / "stream.jsonl"
+    with SpanPipeline(config, stream_path=path) as pipeline:
+        for i in range(10):
+            pipeline.append(request_root("a", i * 0.1, duration=0.5))
+    assert pipeline.slo.breaches
+    names = [json.loads(line)["name"] for line in path.read_text().splitlines()]
+    assert SpanKind.SLO_BREACH in names
+
+
+def test_pipeline_snapshots_on_fault_spans():
+    pipeline = SpanPipeline(StreamConfig(ring_capacity=32))
+    for i in range(100):
+        pipeline.append(make_span("rfaas.invocation", float(i)))
+    pipeline.append(make_span("fault.node_crash", 100.0))
+    assert pipeline.recorder.triggers == 1
+    assert len(pipeline.recorder.snapshots) == 1
+
+
+def test_pipeline_duck_types_the_span_list(tmp_path):
+    """Batch exporters must keep working on the in-memory tail."""
+    from repro.telemetry import chrome_trace_events, write_spans_jsonl
+
+    pipeline = SpanPipeline(StreamConfig(ring_capacity=16))
+    for i in range(50):
+        pipeline.append(make_span("rfaas.invocation", float(i)))
+    assert len(pipeline) == 16
+    events = chrome_trace_events(list(pipeline))
+    assert [e for e in events if e["ph"] == "X"]
+    out = tmp_path / "tail.jsonl"
+    assert write_spans_jsonl(pipeline, str(out)) == 16
+
+
+def test_stream_config_validation():
+    with pytest.raises(ValueError):
+        StreamConfig(ring_capacity=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+    with pytest.raises(ValueError):
+        JsonlStreamWriter("unused", flush_every=0)

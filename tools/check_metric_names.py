@@ -31,7 +31,9 @@ KNOWN_SUBSYSTEMS = frozenset({
     "faults",
     "manager",
     "memservice",  # durable memory service: replication/migration/repair
+    "red",         # streaming per-tenant RED (rate/errors/duration) rollup
     "scheduler",
+    "slo",         # sliding-window burn-rate monitor
     "warmpool",
 })
 

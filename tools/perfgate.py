@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Perf gate: engine throughput must not regress against the baseline.
+"""Perf gate: benchmarked scenarios must not regress against their baselines.
 
-Measures the scenarios defined in ``benchmarks/bench_engine.py`` and
-compares them against the committed ``BENCH_engine.json``:
+Measures the scenarios defined in the registered benchmark modules
+(``benchmarks/bench_engine.py`` -> ``BENCH_engine.json``,
+``benchmarks/bench_obs.py`` -> ``BENCH_obs.json``) and compares each
+against its committed baseline:
 
-    python tools/perfgate.py             # check: exit 1 on regression
-    python tools/perfgate.py --report    # measure + print, never fail
-    python tools/perfgate.py --update    # rewrite the "after" baseline
+    python tools/perfgate.py                  # check all: exit 1 on regression
+    python tools/perfgate.py --bench engine   # check one suite only
+    python tools/perfgate.py --report         # measure + print, never fail
+    python tools/perfgate.py --update         # rewrite the "after" baselines
 
 A scenario regresses when its live measurement is worse than the
 recorded ``after`` value by more than the tolerance configured in the
@@ -29,6 +32,12 @@ import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_engine.json"
+
+#: suite name -> (benchmark module under benchmarks/, committed baseline).
+BENCHES: dict[str, tuple[str, pathlib.Path]] = {
+    "engine": ("bench_engine", BASELINE_PATH),
+    "obs": ("bench_obs", REPO_ROOT / "BENCH_obs.json"),
+}
 
 # Make both the package under src/ and the benchmarks directory
 # importable regardless of how this script is invoked.
@@ -88,39 +97,34 @@ def compare(baseline: dict, measurements: dict[str, dict]) -> list[str]:
 
 def _format_row(name: str, recorded: dict, measured: dict) -> str:
     metric = recorded["metric"]
+    before = float(recorded.get("before", recorded["after"]))
+    speedup = float(recorded.get("speedup", 1.0))
     if metric == "events_per_s":
         return (
             f"  {name:<16} {measured['value']:>12,.0f} events/s"
             f"  (baseline {float(recorded['after']):,.0f},"
-            f" pre-optimization {float(recorded['before']):,.0f},"
-            f" recorded speedup {float(recorded['speedup']):.2f}x)"
+            f" pre-optimization {before:,.0f},"
+            f" recorded speedup {speedup:.2f}x)"
         )
     return (
         f"  {name:<16} {measured['value']:>12.4f} s wall"
         f"  (baseline {float(recorded['after']):.4f},"
-        f" pre-optimization {float(recorded['before']):.4f},"
-        f" recorded speedup {float(recorded['speedup']):.2f}x)"
+        f" pre-optimization {before:.4f},"
+        f" recorded speedup {speedup:.2f}x)"
     )
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    mode = parser.add_mutually_exclusive_group()
-    mode.add_argument("--report", action="store_true",
-                      help="measure and print without failing (CI mode)")
-    mode.add_argument("--update", action="store_true",
-                      help="rewrite the 'after' baselines from this machine")
-    parser.add_argument("--repeats", type=int, default=None,
-                        help="best-of repeats per scenario (default from bench_engine)")
-    args = parser.parse_args(argv)
+def _run_suite(suite: str, args: argparse.Namespace) -> list[str]:
+    """Measure one registered bench suite; returns its regression lines."""
+    import importlib
 
-    import bench_engine
+    module_name, baseline_path = BENCHES[suite]
+    module = importlib.import_module(module_name)
+    repeats = args.repeats if args.repeats is not None else module.DEFAULT_REPEATS
+    baseline = load_baseline(baseline_path)
+    measurements = module.measure_all(repeats)
 
-    repeats = args.repeats if args.repeats is not None else bench_engine.DEFAULT_REPEATS
-    baseline = load_baseline()
-    measurements = bench_engine.measure_all(repeats)
-
-    print(f"perfgate: {len(measurements)} scenario(s), best of {repeats}")
+    print(f"perfgate[{suite}]: {len(measurements)} scenario(s), best of {repeats}")
     for name, recorded in baseline.get("scenarios", {}).items():
         if name in measurements:
             print(_format_row(name, recorded, measurements[name]))
@@ -137,11 +141,33 @@ def main(argv: list[str] | None = None) -> int:
                 recorded["speedup"] = round(before / measured["value"], 2)
             if "events" in measured:
                 recorded["events"] = measured["events"]
-        write_baseline(baseline)
-        print(f"baseline updated -> {BASELINE_PATH}")
-        return 0
+        write_baseline(baseline, baseline_path)
+        print(f"baseline updated -> {baseline_path}")
+        return []
 
-    problems = compare(baseline, measurements)
+    return [f"[{suite}] {line}" for line in compare(baseline, measurements)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--report", action="store_true",
+                      help="measure and print without failing (CI mode)")
+    mode.add_argument("--update", action="store_true",
+                      help="rewrite the 'after' baselines from this machine")
+    parser.add_argument("--bench", choices=[*BENCHES, "all"], default="all",
+                        help="which benchmark suite to run (default: all)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of repeats per scenario (default from the bench module)")
+    args = parser.parse_args(argv)
+
+    suites = list(BENCHES) if args.bench == "all" else [args.bench]
+    problems: list[str] = []
+    for suite in suites:
+        problems.extend(_run_suite(suite, args))
+
+    if args.update:
+        return 0
     for problem in problems:
         print(f"REGRESSION {problem}", file=sys.stderr)
     if args.report:
