@@ -24,6 +24,7 @@ Package map (see DESIGN.md for the full inventory):
 - ``repro.local``        real multiprocessing-based function runtime
 - ``repro.workloads``    app demand models + runnable numpy mini-kernels
 - ``repro.experiments``  one module per paper table/figure
+- ``repro.sweep``        parallel sweep fabric: fan scenarios out, merge in order
 - ``repro.analysis``     utilization statistics, report tables
 """
 
@@ -46,5 +47,6 @@ __all__ = [
     "local",
     "workloads",
     "experiments",
+    "sweep",
     "analysis",
 ]

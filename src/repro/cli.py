@@ -7,12 +7,14 @@ Usage::
     python -m repro run fig07 --trace trace.json --metrics-out metrics.txt
     python -m repro run all
     python -m repro telemetry summary trace.json
-    python -m repro chaos --rates 0,8,16 --seed 1
+    python -m repro chaos --rates 0,8,16 --seed 1 --jobs 4
     python -m repro chaos --plan plan.json --spans spans.jsonl
     python -m repro autoscale --loads 1,4,16 --json autoscale.json
     python -m repro autoscale --no-crash --window 30
     python -m repro chaos --memservice
     python -m repro memdurability --factors 1,2,3 --json memdurability.json
+    python -m repro sweep list
+    python -m repro sweep chaos --jobs 8 --set "rates=(0, 8, 16)"
 
 ``--set key=value`` pairs are parsed as Python literals and forwarded to
 the experiment's ``run()``.  ``--trace`` writes a Chrome ``trace_event``
@@ -20,6 +22,16 @@ JSON (open in Perfetto / about://tracing), ``--spans`` a JSONL span
 dump, and ``--metrics-out`` a Prometheus-style text exposition; all
 three observe the run through a :class:`~repro.telemetry.TelemetryCollector`
 without perturbing simulated time.
+
+The sweep commands (``chaos`` / ``autoscale`` / ``memdurability`` and
+the generic ``sweep``) share one flag set — ``--jobs`` / ``--seed`` /
+``--json`` / ``--stream-spans`` — and execute through
+:func:`repro.sweep.run_sweep`: scenarios fan out across a process pool
+and merge in canonical plan order, so the report, the ``--json`` file,
+and the ``--stream-spans`` stream are byte-identical at every jobs
+count.  The batch exporters (``--trace`` / ``--spans`` /
+``--metrics-out``) observe the whole run in one process and therefore
+require ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -44,7 +56,9 @@ from .experiments import (
     memdurability_sweep,
     tab03_idle_node,
 )
+from .experiments.base import get_sweep
 from .faults import FaultPlan
+from .sweep import SweepScenarioError, run_sweep, sweep_names
 from .telemetry import (
     MetricsRegistry,
     RedAggregator,
@@ -140,6 +154,62 @@ def _export_telemetry(collector: TelemetryCollector, args: argparse.Namespace,
             registries = registries + [pipeline.metrics]
         write_prometheus_text(registries, args.metrics_out)
         out(f"[metrics -> {args.metrics_out}]")
+
+
+def _run_sweep_command(name: str, kwargs: dict[str, Any],
+                       args: argparse.Namespace,
+                       parser: argparse.ArgumentParser,
+                       out: Callable[[str], None]) -> int:
+    """Shared execution path of every sweep command.
+
+    Fan-out and in-order merge go through :func:`repro.sweep.run_sweep`,
+    so the report, ``--json`` file, and ``--stream-spans`` stream are
+    byte-identical at every ``--jobs`` count.  The whole-run batch
+    exporters (``--trace``/``--spans``/``--metrics-out``) observe one
+    process and therefore require ``--jobs 1``.
+    """
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    batch_exports = args.trace or args.spans or args.metrics_out
+    if batch_exports and args.jobs != 1:
+        parser.error("--trace/--spans/--metrics-out observe the whole run in "
+                     "one process; use --jobs 1 (or --stream-spans, which "
+                     "works at any jobs count)")
+    t0 = time.perf_counter()
+    stream_stats: dict[str, int] = {}
+    collector = None
+    try:
+        if batch_exports:
+            # Whole-run collector: the batch exporters (and a combined
+            # --stream-spans) see every scenario in this process.
+            collector = _make_collector(args)
+            with collector:
+                result = run_sweep(name, jobs=1, **kwargs)
+        else:
+            result = run_sweep(
+                name, jobs=args.jobs, stream_spans=args.stream_spans,
+                stream_stats=stream_stats, **kwargs,
+            )
+    except SweepScenarioError as exc:
+        out(str(exc))
+        return 1
+    jobs_note = f" with {args.jobs} jobs" if args.jobs > 1 else ""
+    out(result.format_report())
+    out(f"[{name} completed in {time.perf_counter() - t0:.2f}s{jobs_note}]\n")
+    if args.json_out:
+        try:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                fh.write(result.to_json() + "\n")
+        except OSError as exc:
+            parser.error(f"cannot write JSON output: {exc}")
+        out(f"[json -> {args.json_out}]")
+    if collector is not None:
+        _export_telemetry(collector, args, out)
+    elif args.stream_spans:
+        out(f"[stream: {stream_stats['seen']} spans -> {args.stream_spans} "
+            f"(peak retained {stream_stats['peak_retained']}, "
+            f"slo breaches {stream_stats['slo_breaches']})]")
+    return 0
 
 
 def _run_obs(args: argparse.Namespace, parser: argparse.ArgumentParser,
@@ -264,6 +334,10 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         help="co-run a remote-paging stream on a replicated (k=2) memory "
              "service, so the storm also exercises durable-memory failover",
     )
+    chaos_parser.add_argument(
+        "--json", metavar="FILE", default=None, dest="json_out",
+        help="write the machine-readable sweep result as JSON",
+    )
     autoscale_parser = sub.add_parser(
         "autoscale", help="capacity sweep: predictive vs reactive warm pools",
     )
@@ -309,18 +383,44 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         "--json", metavar="FILE", default=None, dest="json_out",
         help="write the machine-readable sweep result as JSON",
     )
-    for tel_parser in (chaos_parser, autoscale_parser, memdur_parser):
-        tel_parser.add_argument("--trace", metavar="FILE", default=None,
-                                help="write a Chrome trace_event JSON of the run")
-        tel_parser.add_argument("--spans", metavar="FILE", default=None,
-                                help="write a JSONL dump of all recorded spans")
-        tel_parser.add_argument("--metrics-out", metavar="FILE", default=None,
-                                help="write a Prometheus-style text metrics dump")
-        tel_parser.add_argument(
+    generic_sweep_parser = sub.add_parser(
+        "sweep",
+        help="run any registered sweep ('sweep list' shows them) across a pool",
+    )
+    generic_sweep_parser.add_argument(
+        "name", choices=[*sweep_names(), "list"],
+        help="registered sweep name, or 'list' to enumerate the registry",
+    )
+    generic_sweep_parser.add_argument(
+        "--set", action="append", default=[], metavar="key=value",
+        help="override a plan_scenarios() keyword argument (repeatable)",
+    )
+    generic_sweep_parser.add_argument("--seed", type=int, default=0)
+    for sweep_parser in (chaos_parser, autoscale_parser, memdur_parser,
+                         generic_sweep_parser):
+        sweep_parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes to fan scenarios across (default 1; "
+                 "the merged result is byte-identical at any count)",
+        )
+        sweep_parser.add_argument("--trace", metavar="FILE", default=None,
+                                  help="write a Chrome trace_event JSON of the "
+                                       "run (requires --jobs 1)")
+        sweep_parser.add_argument("--spans", metavar="FILE", default=None,
+                                  help="write a JSONL dump of all recorded "
+                                       "spans (requires --jobs 1)")
+        sweep_parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                                  help="write a Prometheus-style text metrics "
+                                       "dump (requires --jobs 1)")
+        sweep_parser.add_argument(
             "--stream-spans", metavar="FILE", default=None,
             help="stream spans to FILE as JSONL while the run executes "
-                 "(bounded memory; batch exports then cover only the tail)",
+                 "(bounded memory; works at any --jobs count)",
         )
+    generic_sweep_parser.add_argument(
+        "--json", metavar="FILE", default=None, dest="json_out",
+        help="write the machine-readable sweep result as JSON",
+    )
     telemetry_parser = sub.add_parser(
         "telemetry", help="inspect exported telemetry",
     )
@@ -402,18 +502,7 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
                 kwargs["rates"] = tuple(float(r) for r in args.rates.split(","))
             except ValueError:
                 parser.error(f"--rates expects comma-separated numbers, got {args.rates!r}")
-        collector = _make_collector(args)
-        t0 = time.perf_counter()
-        if collector is not None:
-            with collector:
-                result = chaos_sweep.run(**kwargs)
-        else:
-            result = chaos_sweep.run(**kwargs)
-        out(chaos_sweep.format_report(result))
-        out(f"[chaos completed in {time.perf_counter() - t0:.2f}s]\n")
-        if collector is not None:
-            _export_telemetry(collector, args, out)
-        return 0
+        return _run_sweep_command("chaos", kwargs, args, parser, out)
 
     if args.command == "memdurability":
         kwargs = {"seed": args.seed, "window_s": args.window,
@@ -423,25 +512,7 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
                 kwargs["factors"] = tuple(int(k) for k in args.factors.split(","))
             except ValueError:
                 parser.error(f"--factors expects comma-separated integers, got {args.factors!r}")
-        collector = _make_collector(args)
-        t0 = time.perf_counter()
-        if collector is not None:
-            with collector:
-                result = memdurability_sweep.run(**kwargs)
-        else:
-            result = memdurability_sweep.run(**kwargs)
-        out(memdurability_sweep.format_report(result))
-        out(f"[memdurability completed in {time.perf_counter() - t0:.2f}s]\n")
-        if args.json_out:
-            try:
-                with open(args.json_out, "w", encoding="utf-8") as fh:
-                    fh.write(result.to_json() + "\n")
-            except OSError as exc:
-                parser.error(f"cannot write JSON output: {exc}")
-            out(f"[json -> {args.json_out}]")
-        if collector is not None:
-            _export_telemetry(collector, args, out)
-        return 0
+        return _run_sweep_command("memdurability", kwargs, args, parser, out)
 
     if args.command == "autoscale":
         kwargs = {"seed": args.seed, "window_s": args.window}
@@ -459,25 +530,18 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
                 parser.error(f"cannot load fault plan: {exc}")
         if args.no_crash:
             kwargs["crash"] = False
-        collector = _make_collector(args)
-        t0 = time.perf_counter()
-        if collector is not None:
-            with collector:
-                result = autoscale_sweep.run(**kwargs)
-        else:
-            result = autoscale_sweep.run(**kwargs)
-        out(autoscale_sweep.format_report(result))
-        out(f"[autoscale completed in {time.perf_counter() - t0:.2f}s]\n")
-        if args.json_out:
-            try:
-                with open(args.json_out, "w", encoding="utf-8") as fh:
-                    fh.write(result.to_json() + "\n")
-            except OSError as exc:
-                parser.error(f"cannot write JSON output: {exc}")
-            out(f"[json -> {args.json_out}]")
-        if collector is not None:
-            _export_telemetry(collector, args, out)
-        return 0
+        return _run_sweep_command("autoscale", kwargs, args, parser, out)
+
+    if args.command == "sweep":
+        if args.name == "list":
+            names = sweep_names()
+            width = max(len(n) for n in names)
+            for n in names:
+                out(f"{n.ljust(width)}  {get_sweep(n).description}")
+            return 0
+        kwargs = _parse_overrides(args.set)
+        kwargs.setdefault("seed", args.seed)
+        return _run_sweep_command(args.name, kwargs, args, parser, out)
 
     overrides = _parse_overrides(args.set)
     collector = _make_collector(args)

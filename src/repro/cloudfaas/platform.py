@@ -14,7 +14,6 @@ to the HPC-specialized platform on identical workloads.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -27,7 +26,6 @@ from ..storage.objectstore import ObjectStoreModel
 
 __all__ = ["CloudConfig", "CloudInvocation", "CloudFaaSPlatform"]
 
-_invocation_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -110,7 +108,7 @@ class CloudFaaSPlatform:
             raise KeyError(f"function {function!r} not registered")
         if payload_bytes < 0 or output_bytes < 0 or runtime_s < 0:
             raise ValueError("negative sizes")
-        record = CloudInvocation(next(_invocation_ids), function, cold=False)
+        record = CloudInvocation(self.env.next_id("cloud-invocation"), function, cold=False)
 
         def run():
             # 1. Client -> gateway -> scheduler.

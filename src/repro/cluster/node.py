@@ -17,9 +17,6 @@ from .specs import NodeSpec
 
 __all__ = ["Allocation", "Node", "AllocationError"]
 
-_alloc_ids = itertools.count(1)
-
-
 class AllocationError(RuntimeError):
     """Requested resources exceed what the node has free."""
 
@@ -48,6 +45,9 @@ class Node:
         self.name = name
         self.spec = spec
         self._allocations: dict[int, Allocation] = {}
+        # Per-node counter: allocation ids are scoped to this node's
+        # table, so numbering restarts with every cluster build.
+        self._alloc_ids = itertools.count(1)
         self._free_cores = spec.cores
         self._free_memory = spec.memory_bytes
         self._free_gpus: set[int] = set(range(len(spec.gpus)))
@@ -147,7 +147,7 @@ class Node:
         self._free_memory -= memory_bytes
         self._free_gpus.difference_update(gpu_ids)
         alloc = Allocation(
-            alloc_id=next(_alloc_ids),
+            alloc_id=next(self._alloc_ids),
             node_name=self.name,
             owner=owner,
             kind=kind,

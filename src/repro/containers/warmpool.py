@@ -38,10 +38,18 @@ class ContainerState(enum.Enum):
 
 
 class WarmContainer:
-    """A started container instance."""
+    """A started container instance.
 
-    def __init__(self, image: Image, node_name: str, alloc: Optional[Allocation]):
-        self.container_id = next(_container_ids)
+    ``container_id`` defaults to a module-global counter for bare
+    construction (tests); the pool passes ``env.next_id`` so ids are
+    per-environment and deterministic across process histories.
+    """
+
+    def __init__(self, image: Image, node_name: str, alloc: Optional[Allocation],
+                 container_id: Optional[int] = None):
+        self.container_id = (
+            container_id if container_id is not None else next(_container_ids)
+        )
         self.image = image
         self.node_name = node_name
         self.alloc = alloc           # memory held while resident
@@ -156,7 +164,8 @@ class WarmPool:
 
         # 3. Cold start.
         alloc = self._allocate_memory(image)
-        container = WarmContainer(image, self.node.name, alloc)
+        container = WarmContainer(image, self.node.name, alloc,
+                                  container_id=self.env.next_id("container"))
         self.cold_starts += 1
         self._m_cold.inc()
         self._note_acquire(image, "cold")

@@ -3,9 +3,16 @@
 Each module exposes ``run(...) -> result`` and ``format_report(result)``;
 the benchmark suite (``benchmarks/``) executes them and prints the same
 rows/series the paper reports.  See DESIGN.md for the experiment index.
+
+The sweep-shaped experiments additionally implement the
+:mod:`repro.experiments.base` protocol — ``plan_scenarios(...)`` /
+``scenario(params, seed)`` / ``assemble(points, meta)`` — and register
+themselves so :func:`repro.sweep.run_sweep` can fan their scenarios out
+across a process pool (``repro <sweep> --jobs N``).
 """
 
 from . import (
+    base,
     autoscale_sweep,
     chaos_sweep,
     fig01_utilization,
@@ -21,6 +28,7 @@ from . import (
 )
 
 __all__ = [
+    "base",
     "autoscale_sweep",
     "chaos_sweep",
     "memdurability_sweep",

@@ -22,11 +22,15 @@ accounted, or is explicitly rejected — nothing is silently dropped.
 
 Fully deterministic: same seed ⇒ identical JSON (asserted across fresh
 interpreters by ``tests/capacity/test_autoscale_determinism.py``).
+
+Sweep protocol: :func:`scenario` is a pure module-level function of
+``(params, seed)``; :func:`plan_scenarios` / :func:`assemble` are
+registered as the ``autoscale`` sweep and :func:`run` is the serial
+shim over them (``repro autoscale --jobs N`` fans scenarios out).
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
@@ -44,13 +48,18 @@ from ..containers import Image
 from ..faults import FaultPlan
 from ..interference import ResourceDemand
 from ..telemetry import NULL_TELEMETRY, telemetry_of
+from .base import ScenarioSpec, Sweep, SweepPlan, register_sweep, result_to_json
 
 __all__ = [
     "AutoscalePoint",
     "AutoscaleResult",
     "default_crash_plan",
+    "scenario",
+    "plan_scenarios",
+    "assemble",
     "run",
     "format_report",
+    "SWEEP",
 ]
 
 MiB = 1024**2
@@ -108,7 +117,31 @@ class AutoscaleResult:
         }
 
     def to_json(self) -> str:
-        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+        return result_to_json(self)
+
+    def format_report(self) -> str:
+        rows = []
+        for p in self.points:
+            rows.append([
+                f"{p.load:g}x", p.mode, p.invocations,
+                p.completed, p.bursts, p.rejected,
+                f"{p.warm_start_rate * 100:.1f}%",
+                p.prewarms,
+                f"{p.p50_ms:.3f}", f"{p.p99_ms:.3f}",
+                f"{p.burst_fraction * 100:.1f}%",
+                f"{p.burst_cost:.6f}",
+            ])
+        table = render_table(
+            ["load", "mode", "arrivals", "hpc", "cloud", "rejected", "warm",
+             "prewarms", "p50 (ms)", "p99 (ms)", "burst", "burst cost"],
+            rows,
+            title=(f"Autoscale sweep — predictive vs reactive warm pools "
+                   f"({self.window_s:g}s window)"),
+        )
+        return table + (
+            "\nEvery arrival is accounted for: served on harvested HPC cores,"
+            " overflowed to the cloud (billed), or explicitly rejected."
+        )
 
 
 def default_crash_plan(window_s: float) -> FaultPlan:
@@ -140,9 +173,50 @@ def _capacity_config(predictive: bool) -> CapacityConfig:
     )
 
 
-def _scenario(load: float, predictive: bool, window_s: float, seed: int,
-              runtime_s: float, payload_bytes: int, tenants: int,
-              base_rate_per_s: float, plan: Optional[FaultPlan]) -> AutoscalePoint:
+def _govern_one(plane, client, tenant: str, function: str,
+                payload_bytes: int, results):
+    """One governed invocation (module-level so scenarios stay picklable)."""
+    result = yield plane.invoke(client, function,
+                                payload_bytes=payload_bytes, tenant=tenant)
+    results.append(result)
+
+
+def _arrival_source(env, plane, clients, names, results, load: float,
+                    base_rate_per_s: float, window_s: float,
+                    payload_bytes: int):
+    """Deterministic open-loop arrivals: evenly spaced, tenants
+    round-robin (each pinned to one function), independent of how long
+    each invocation takes."""
+    rate = base_rate_per_s * load
+    count = int(round(rate * window_s))
+    gap = 1.0 / rate
+    for i in range(count):
+        client = clients[i % len(clients)]
+        function = names[(i % len(clients)) % len(names)]
+        env.process(
+            _govern_one(plane, client, client.name, function, payload_bytes,
+                        results),
+            name=f"arrival-{i}",
+        )
+        yield env.timeout(gap)
+
+
+def scenario(params: dict, seed: int) -> dict:
+    """One autoscale scenario as a pure function of ``(params, seed)``.
+
+    ``params``: ``load``, ``predictive``, ``window_s``, ``runtime_s``,
+    ``payload_bytes``, ``tenants``, ``base_rate_per_s``, ``plan``
+    (a :class:`FaultPlan` or None).  Returns the
+    :class:`AutoscalePoint` as a plain dict.
+    """
+    load: float = params["load"]
+    predictive: bool = params["predictive"]
+    window_s: float = params["window_s"]
+    runtime_s: float = params["runtime_s"]
+    payload_bytes: int = params["payload_bytes"]
+    tenants: int = params["tenants"]
+    base_rate_per_s: float = params["base_rate_per_s"]
+    plan: Optional[FaultPlan] = params["plan"]
     # Join an active TelemetryCollector (the CLI's --trace/--spans) when
     # there is one; otherwise pin a private scope for the metrics below.
     collector_active = telemetry_of(None) is not NULL_TELEMETRY
@@ -177,25 +251,9 @@ def _scenario(load: float, predictive: bool, window_s: float, seed: int,
                for i in range(tenants)]
     results = []
 
-    def one(client, tenant, function):
-        result = yield plane.invoke(client, function,
-                                    payload_bytes=payload_bytes, tenant=tenant)
-        results.append(result)
-
-    def source():
-        # Deterministic open-loop arrivals: evenly spaced, tenants
-        # round-robin (each pinned to one function), independent of how
-        # long each invocation takes.
-        rate = base_rate_per_s * load
-        count = int(round(rate * window_s))
-        gap = 1.0 / rate
-        for i in range(count):
-            client = clients[i % tenants]
-            function = names[(i % tenants) % len(names)]
-            env.process(one(client, client.name, function), name=f"arrival-{i}")
-            yield env.timeout(gap)
-
-    platform.process(source())
+    platform.process(_arrival_source(env, plane, clients, names, results,
+                                     load, base_rate_per_s, window_s,
+                                     payload_bytes))
     # Let the window play out (plus slack for stragglers), then stop the
     # autoscaler's control loop so the event queue can fully drain.
     platform.run_until(window_s + 5.0)
@@ -216,7 +274,7 @@ def _scenario(load: float, predictive: bool, window_s: float, seed: int,
     invocation_colds = sum(1 for r in hpc if r.startup_kind == "cold")
     registry = platform.telemetry.metrics
     faults = sum(m.value for m in registry if m.name == "repro_faults_injected_total")
-    return AutoscalePoint(
+    return asdict(AutoscalePoint(
         load=load,
         mode="predictive" if predictive else "reactive",
         invocations=len(results),
@@ -231,7 +289,57 @@ def _scenario(load: float, predictive: bool, window_s: float, seed: int,
         mean_queue_wait_ms=round(float(np.mean(waits)) * 1e3, 6) if waits else 0.0,
         burst_cost=round(stats["burst_cost"], 9),
         faults_injected=int(faults),
-    )
+    ))
+
+
+def plan_scenarios(
+    loads=DEFAULT_LOADS,
+    window_s: float = 20.0,
+    seed: int = 0,
+    runtime_s: float = 0.15,
+    payload_bytes: int = 1024,
+    tenants: int = 10,
+    base_rate_per_s: float = DEFAULT_RATE,
+    crash: bool = True,
+    plan: Optional[FaultPlan] = None,
+) -> SweepPlan:
+    """Fix the canonical scenario order: each load reactive, then
+    predictive, all replaying the same schedule (and crash storm)."""
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if tenants < 1:
+        raise ValueError("need at least one tenant")
+    if plan is None and crash:
+        plan = default_crash_plan(window_s)
+    scenarios = []
+    for load in loads:
+        if load <= 0:
+            raise ValueError("load multipliers must be positive")
+        for predictive in (False, True):
+            scenarios.append(ScenarioSpec(
+                fn=scenario,
+                params={
+                    "load": load,
+                    "predictive": predictive,
+                    "window_s": window_s,
+                    "runtime_s": runtime_s,
+                    "payload_bytes": payload_bytes,
+                    "tenants": tenants,
+                    "base_rate_per_s": base_rate_per_s,
+                    "plan": plan,
+                },
+                seed=seed,
+                label=f"{load:g}x-{'predictive' if predictive else 'reactive'}",
+            ))
+    return SweepPlan(scenarios=tuple(scenarios),
+                     meta={"window_s": window_s, "seed": seed})
+
+
+def assemble(points: list[dict], meta: dict) -> AutoscaleResult:
+    """Rebuild the typed result from point dicts, in plan order."""
+    result = AutoscaleResult(window_s=meta["window_s"], seed=meta["seed"])
+    result.points = [AutoscalePoint(**point) for point in points]
+    return result
 
 
 def run(
@@ -245,50 +353,28 @@ def run(
     crash: bool = True,
     plan: Optional[FaultPlan] = None,
 ) -> AutoscaleResult:
-    """The sweep: each load runs reactive then predictive, same schedule.
+    """Serial shim over the sweep protocol.
 
     ``crash=True`` (default) replays :func:`default_crash_plan` in every
     scenario; pass an explicit ``plan`` to override it, or ``crash=False``
-    for a fault-free sweep.
+    for a fault-free sweep.  For multi-core execution use
+    :func:`repro.sweep.run_sweep` (``repro autoscale --jobs N``).
     """
-    if window_s <= 0:
-        raise ValueError("window_s must be positive")
-    if tenants < 1:
-        raise ValueError("need at least one tenant")
-    if plan is None and crash:
-        plan = default_crash_plan(window_s)
-    result = AutoscaleResult(window_s=window_s, seed=seed)
-    for load in loads:
-        if load <= 0:
-            raise ValueError("load multipliers must be positive")
-        for predictive in (False, True):
-            result.points.append(_scenario(
-                load, predictive, window_s, seed, runtime_s, payload_bytes,
-                tenants, base_rate_per_s, plan,
-            ))
-    return result
+    return SWEEP.run_serial(
+        loads=loads, window_s=window_s, seed=seed, runtime_s=runtime_s,
+        payload_bytes=payload_bytes, tenants=tenants,
+        base_rate_per_s=base_rate_per_s, crash=crash, plan=plan,
+    )
 
 
 def format_report(result: AutoscaleResult) -> str:
-    rows = []
-    for p in result.points:
-        rows.append([
-            f"{p.load:g}x", p.mode, p.invocations,
-            p.completed, p.bursts, p.rejected,
-            f"{p.warm_start_rate * 100:.1f}%",
-            p.prewarms,
-            f"{p.p50_ms:.3f}", f"{p.p99_ms:.3f}",
-            f"{p.burst_fraction * 100:.1f}%",
-            f"{p.burst_cost:.6f}",
-        ])
-    table = render_table(
-        ["load", "mode", "arrivals", "hpc", "cloud", "rejected", "warm",
-         "prewarms", "p50 (ms)", "p99 (ms)", "burst", "burst cost"],
-        rows,
-        title=(f"Autoscale sweep — predictive vs reactive warm pools "
-               f"({result.window_s:g}s window)"),
-    )
-    return table + (
-        "\nEvery arrival is accounted for: served on harvested HPC cores,"
-        " overflowed to the cloud (billed), or explicitly rejected."
-    )
+    return result.format_report()
+
+
+SWEEP = register_sweep(Sweep(
+    name="autoscale",
+    description="predictive vs reactive warm pools under load",
+    plan=plan_scenarios,
+    assemble=assemble,
+    result_type=AutoscaleResult,
+))

@@ -1,0 +1,165 @@
+"""The sweep experiment protocol: scenarios as pure functions of data.
+
+Every sweep in this repo has the same shape — a list of *scenarios*
+(one fault rate, one load multiplier, one replication factor), each
+fully determined by a parameter dict and a seed, whose outcomes are
+merged in a fixed order into a result object the CLI can print and
+serialize.  This module names that shape so one runner
+(:mod:`repro.sweep`) can execute *any* sweep, serially or fanned out
+across a process pool, with byte-identical output either way:
+
+* :class:`ScenarioSpec` — one unit of sweep work: a **module-level**
+  callable ``fn(params, seed) -> point dict`` plus its (picklable)
+  parameters and an explicit seed.  Everything a worker process needs
+  crosses the pool boundary inside the spec; nothing is captured from
+  the parent's state.  Seeds are assigned at *plan* time in the parent,
+  following the :meth:`repro.api.Platform.build` rng-fan-out discipline
+  (one base seed, derived deterministically per component), so neither
+  worker identity nor execution order can influence a scenario.
+* :class:`SweepPlan` — the canonical scenario order plus the run-level
+  metadata (``window_s``, ``seed``, ...) the assembler needs.  The plan
+  *is* the merge contract: points are always assembled in plan order,
+  no matter which worker finished first.
+* :class:`SweepResult` — the protocol every sweep's result object
+  satisfies: ``points`` plus ``to_dict()`` / ``to_json()`` /
+  ``format_report()``.  ``tools/check_sweeps.py`` lints the registry
+  against it.
+* :class:`Sweep` + :func:`register_sweep` — the registry consumed by
+  both the CLI (``repro chaos --jobs 8``, ``repro sweep <name>``) and
+  :func:`repro.sweep.run_sweep`.
+
+The legacy per-module ``run(...)`` entry points survive as thin shims:
+``plan_scenarios(...)`` → execute serially → ``assemble(...)``, the
+exact code path the parallel runner uses at ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "SweepPlan",
+    "SweepResult",
+    "Sweep",
+    "register_sweep",
+    "get_sweep",
+    "registered_sweeps",
+    "result_to_json",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One unit of sweep work: ``fn(params, seed) -> point dict``.
+
+    ``fn`` must be a module-level callable and ``params`` a dict of
+    picklable values — the spec is what crosses the process-pool
+    boundary, so closures and locally-defined functions are rejected by
+    the ``sweeps`` lint (``tools/check_sweeps.py``).  ``label`` names
+    the scenario in reports and error messages.
+    """
+
+    fn: Callable[[Dict[str, Any], int], Dict[str, Any]]
+    params: Dict[str, Any]
+    seed: int
+    label: str
+
+    def execute(self) -> Dict[str, Any]:
+        """Run the scenario in this process; returns its point dict."""
+        return self.fn(self.params, self.seed)
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """The canonical scenario order plus run-level assembler metadata."""
+
+    scenarios: Tuple[ScenarioSpec, ...]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+
+@runtime_checkable
+class SweepResult(Protocol):
+    """What every sweep's result object exposes (plus a ``points`` list).
+
+    ``points`` is a data attribute, which :func:`isinstance` cannot see
+    through a runtime protocol; the ``sweeps`` lint checks it explicitly
+    on each registered result type.
+    """
+
+    def to_dict(self) -> dict: ...
+
+    def to_json(self) -> str: ...
+
+    def format_report(self) -> str: ...
+
+
+def result_to_json(result: Any) -> str:
+    """The repo-wide sweep JSON convention: sorted keys, 2-space indent."""
+    return json.dumps(result.to_dict(), sort_keys=True, indent=2)
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A registered sweep: how to plan scenarios and assemble points.
+
+    ``plan(**kwargs) -> SweepPlan`` validates the run arguments and
+    fixes the canonical scenario order (and every per-scenario seed);
+    ``assemble(points, meta) -> SweepResult`` rebuilds the typed result
+    from the point dicts, in plan order.  ``result_type`` is the
+    concrete result class, under the :class:`SweepResult` contract.
+    """
+
+    name: str
+    description: str
+    plan: Callable[..., SweepPlan]
+    assemble: Callable[[List[Dict[str, Any]], Mapping[str, Any]], Any]
+    result_type: type
+
+    def run_serial(self, **kwargs) -> Any:
+        """Plan + execute in-process + assemble — the ``jobs=1`` path."""
+        plan = self.plan(**kwargs)
+        points = [spec.execute() for spec in plan.scenarios]
+        return self.assemble(points, plan.meta)
+
+
+#: name -> Sweep, populated by each sweep module at import time.
+_REGISTRY: Dict[str, Sweep] = {}
+
+
+def register_sweep(sweep: Sweep) -> Sweep:
+    """Register ``sweep`` (idempotent per name; returns it for assignment)."""
+    existing = _REGISTRY.get(sweep.name)
+    if existing is not None and existing is not sweep:
+        raise ValueError(f"sweep {sweep.name!r} is already registered")
+    _REGISTRY[sweep.name] = sweep
+    return sweep
+
+
+def get_sweep(name: str) -> Sweep:
+    """The registered sweep, or a KeyError naming what *is* registered."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep {name!r} (registered: {', '.join(sorted(_REGISTRY))})"
+        ) from None
+
+
+def registered_sweeps() -> Dict[str, Sweep]:
+    """A snapshot of the registry (name -> Sweep), insertion-ordered."""
+    return dict(_REGISTRY)

@@ -17,11 +17,18 @@ more invocations pay redirect + backoff.
 Fully deterministic: the same ``seed`` (and plan) replays the identical
 fault schedule, victims, and recovery trace — asserted byte-for-byte by
 ``tests/faults/test_determinism.py``.
+
+Sweep protocol: :func:`scenario` is a pure module-level function of
+``(params, seed)`` so scenarios cross the process-pool boundary of
+:func:`repro.sweep.run_sweep`; :func:`plan_scenarios` /
+:func:`assemble` are registered as the ``chaos`` sweep and
+:func:`run` is the serial shim over them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -33,8 +40,19 @@ from ..interference import ResourceDemand
 from ..memservice import DurableMemoryConfig, RemotePager
 from ..rfaas.errors import DataLossError, MemoryServiceUnavailable
 from ..telemetry import NULL_TELEMETRY, telemetry_of
+from .base import ScenarioSpec, Sweep, SweepPlan, register_sweep, result_to_json
 
-__all__ = ["ChaosPoint", "ChaosResult", "default_plan", "run", "format_report"]
+__all__ = [
+    "ChaosPoint",
+    "ChaosResult",
+    "default_plan",
+    "scenario",
+    "plan_scenarios",
+    "assemble",
+    "run",
+    "format_report",
+    "SWEEP",
+]
 
 MiB = 1024**2
 GiB = 1024**3
@@ -77,6 +95,37 @@ class ChaosResult:
     window_s: float = 0.0
     seed: int = 0
 
+    def to_dict(self) -> dict:
+        return {
+            "window_s": self.window_s,
+            "seed": self.seed,
+            "points": [asdict(p) for p in self.points],
+        }
+
+    def to_json(self) -> str:
+        return result_to_json(self)
+
+    def format_report(self) -> str:
+        rows = []
+        for p in self.points:
+            rows.append([
+                p.label, p.faults_injected, p.invocations,
+                f"{p.completion_ratio * 100:.1f}%",
+                f"{p.p50_ms:.3f}", f"{p.p95_ms:.3f}",
+                p.retries, p.recovered, p.gave_up + p.rejected + p.timed_out,
+                f"{p.mean_recovery_ms:.3f}",
+            ])
+        table = render_table(
+            ["plan", "faults", "invocations", "completed", "p50 (ms)", "p95 (ms)",
+             "retries", "recovered", "failed", "recovery (ms)"],
+            rows,
+            title=f"Chaos sweep — noop latency under faults ({self.window_s:g}s window)",
+        )
+        return table + (
+            "\nReclamation is routine, not fatal: retries keep completion high"
+            " while faults tax the tail."
+        )
+
 
 def default_plan(rate: float, window_s: float, name: str = "") -> FaultPlan:
     """A deterministic plan with ``rate`` faults per simulated minute.
@@ -110,9 +159,46 @@ def _metric_sum(registry, name: str) -> float:
     return sum(m.value for m in registry if m.name == name)
 
 
-def _scenario(plan: FaultPlan, window_s: float, seed: int,
-              runtime_s: float, payload_bytes: int, streams: int,
-              memservice: bool = False) -> ChaosPoint:
+def _invocation_stream(env, client, outcomes, window_s: float,
+                       payload_bytes: int):
+    """Closed-loop noop invocations until the window ends.
+
+    Module-level (not a ``scenario``-local closure) so scenario
+    functions stay picklable end to end; all state arrives as
+    parameters.
+    """
+    while env.now < window_s:
+        detailed = yield client.invoke_detailed("noop", payload_bytes=payload_bytes)
+        outcomes.append(detailed)
+
+
+def _paging_stream(env, pager, window_s: float):
+    """A background remote-paging loop riding the same fault storm."""
+    page = 0
+    while env.now < window_s:
+        yield env.timeout(0.05)
+        try:
+            yield pager.touch(page % pager.total_pages,
+                              dirty=(page % 2 == 0))
+        except (DataLossError, MemoryServiceUnavailable):
+            pass  # durability outcomes are the memdurability sweep's job
+        page += 1
+
+
+def scenario(params: dict, seed: int) -> dict:
+    """One chaos scenario as a pure function of ``(params, seed)``.
+
+    ``params``: ``plan`` (a :class:`FaultPlan`), ``window_s``,
+    ``runtime_s``, ``payload_bytes``, ``streams``, ``memservice``.
+    Returns the :class:`ChaosPoint` as a plain dict, ready to cross a
+    process boundary.
+    """
+    plan: FaultPlan = params["plan"]
+    window_s: float = params["window_s"]
+    runtime_s: float = params["runtime_s"]
+    payload_bytes: int = params["payload_bytes"]
+    streams: int = params["streams"]
+    memservice: bool = params["memservice"]
     # Join an active TelemetryCollector (the CLI's --trace/--spans) when
     # there is one; otherwise pin a private scope so the recovery
     # metrics in the report are collected either way.
@@ -141,30 +227,14 @@ def _scenario(plan: FaultPlan, window_s: float, seed: int,
     client = platform.client("n0000", retry_policy=SWEEP_POLICY)
     outcomes = []
 
-    def stream():
-        while env.now < window_s:
-            detailed = yield client.invoke_detailed("noop", payload_bytes=payload_bytes)
-            outcomes.append(detailed)
-
     for _ in range(streams):
-        platform.process(stream())
+        platform.process(_invocation_stream(env, client, outcomes, window_s,
+                                            payload_bytes))
     if durable is not None:
         memory_client = platform.memory_client("n0000", user="chaos-pager")
         pager = RemotePager(env, memory_client, page_bytes=2 * MiB,
                             resident_pages=4)
-
-        def paging():
-            page = 0
-            while env.now < window_s:
-                yield env.timeout(0.05)
-                try:
-                    yield pager.touch(page % pager.total_pages,
-                                      dirty=(page % 2 == 0))
-                except (DataLossError, MemoryServiceUnavailable):
-                    pass  # durability outcomes are the memdurability sweep's job
-                page += 1
-
-        platform.process(paging())
+        platform.process(_paging_stream(env, pager, window_s))
     platform.run_until(window_s + 30.0)
     if platform.durable_memory is not None:
         platform.durable_memory.stop()
@@ -175,7 +245,7 @@ def _scenario(plan: FaultPlan, window_s: float, seed: int,
     p95 = float(np.percentile(latencies, 95)) if latencies else float("nan")
     registry = platform.telemetry.metrics
     recovery_hist = registry.get("repro_faults_recovery_seconds")
-    return ChaosPoint(
+    return asdict(ChaosPoint(
         label=plan.name,
         faults_injected=int(_metric_sum(registry, "repro_faults_injected_total")),
         invocations=len(outcomes),
@@ -189,7 +259,49 @@ def _scenario(plan: FaultPlan, window_s: float, seed: int,
         timed_out=sum(1 for d in outcomes if d.outcome is RecoveryOutcome.TIMED_OUT),
         mean_recovery_ms=(recovery_hist.mean() * 1e3 if recovery_hist is not None
                           and recovery_hist.count else 0.0),
+    ))
+
+
+def plan_scenarios(
+    rates=DEFAULT_RATES,
+    window_s: float = 30.0,
+    seed: int = 0,
+    runtime_s: float = 0.02,
+    payload_bytes: int = 1024,
+    streams: int = 2,
+    plan: Optional[FaultPlan] = None,
+    memservice: bool = False,
+) -> SweepPlan:
+    """Fix the canonical scenario order (and each scenario's seed)."""
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    plans = ([plan] if plan is not None
+             else [default_plan(rate, window_s) for rate in rates])
+    scenarios = tuple(
+        ScenarioSpec(
+            fn=scenario,
+            params={
+                "plan": scenario_plan,
+                "window_s": window_s,
+                "runtime_s": runtime_s,
+                "payload_bytes": payload_bytes,
+                "streams": streams,
+                "memservice": memservice,
+            },
+            seed=seed,
+            label=scenario_plan.name,
+        )
+        for scenario_plan in plans
     )
+    return SweepPlan(scenarios=scenarios,
+                     meta={"window_s": window_s, "seed": seed})
+
+
+def assemble(points: list[dict], meta: dict) -> ChaosResult:
+    """Rebuild the typed result from point dicts, in plan order."""
+    result = ChaosResult(window_s=meta["window_s"], seed=meta["seed"])
+    result.points = [ChaosPoint(**point) for point in points]
+    return result
 
 
 def run(
@@ -202,42 +314,28 @@ def run(
     plan: FaultPlan = None,
     memservice: bool = False,
 ) -> ChaosResult:
-    """The sweep; pass ``plan`` to run one explicit plan instead of rates.
+    """Serial shim over the sweep protocol; pass ``plan`` for one plan.
 
     ``memservice=True`` co-runs a remote-paging stream on a replicated
     (k=2) memory service, so the same storms also hit durable-memory
-    chunks (``repro chaos --memservice``).
+    chunks (``repro chaos --memservice``).  For multi-core execution
+    use :func:`repro.sweep.run_sweep` (``repro chaos --jobs N``).
     """
-    if window_s <= 0:
-        raise ValueError("window_s must be positive")
-    result = ChaosResult(window_s=window_s, seed=seed)
-    plans = ([plan] if plan is not None
-             else [default_plan(rate, window_s) for rate in rates])
-    for scenario_plan in plans:
-        result.points.append(
-            _scenario(scenario_plan, window_s, seed, runtime_s, payload_bytes,
-                      streams, memservice=memservice)
-        )
-    return result
+    return SWEEP.run_serial(
+        rates=rates, window_s=window_s, seed=seed, runtime_s=runtime_s,
+        payload_bytes=payload_bytes, streams=streams, plan=plan,
+        memservice=memservice,
+    )
 
 
 def format_report(result: ChaosResult) -> str:
-    rows = []
-    for p in result.points:
-        rows.append([
-            p.label, p.faults_injected, p.invocations,
-            f"{p.completion_ratio * 100:.1f}%",
-            f"{p.p50_ms:.3f}", f"{p.p95_ms:.3f}",
-            p.retries, p.recovered, p.gave_up + p.rejected + p.timed_out,
-            f"{p.mean_recovery_ms:.3f}",
-        ])
-    table = render_table(
-        ["plan", "faults", "invocations", "completed", "p50 (ms)", "p95 (ms)",
-         "retries", "recovered", "failed", "recovery (ms)"],
-        rows,
-        title=f"Chaos sweep — noop latency under faults ({result.window_s:g}s window)",
-    )
-    return table + (
-        "\nReclamation is routine, not fatal: retries keep completion high"
-        " while faults tax the tail."
-    )
+    return result.format_report()
+
+
+SWEEP = register_sweep(Sweep(
+    name="chaos",
+    description="invocation latency under injected faults",
+    plan=plan_scenarios,
+    assemble=assemble,
+    result_type=ChaosResult,
+))

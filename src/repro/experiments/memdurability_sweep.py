@@ -22,16 +22,21 @@ Expected shape — the PR's acceptance bar:
   factor after each hit.  Transient unavailability (a partitioned
   replica set mid-write) is retried with a fixed backoff.
 
-Determinism: the access trace is pre-generated from ``seed + 17``, the
+Determinism: the access trace is re-derived from ``seed + 17`` inside
+every scenario (each replication factor sees the *identical* trace), the
 storm is an explicit plan, the network runs with ``jitter=0.0``, and the
 service itself draws no randomness — ``result.to_json()`` is
 byte-identical across fresh interpreters for one seed (asserted by
 ``tests/memservice/test_memdurability_determinism.py``).
+
+Sweep protocol: :func:`scenario` is a pure module-level function of
+``(params, seed)``; :func:`plan_scenarios` / :func:`assemble` are
+registered as the ``memdurability`` sweep and :func:`run` is the serial
+shim over them (``repro memdurability --jobs N`` fans scenarios out).
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -42,9 +47,19 @@ from ..faults import FaultPlan
 from ..memservice import DurableMemoryConfig, RemotePager
 from ..rfaas.errors import DataLossError, MemoryServiceUnavailable
 from ..telemetry import NULL_TELEMETRY, telemetry_of
+from .base import ScenarioSpec, Sweep, SweepPlan, register_sweep, result_to_json
 
-__all__ = ["MemDurabilityPoint", "MemDurabilityResult", "default_storm",
-           "run", "format_report"]
+__all__ = [
+    "MemDurabilityPoint",
+    "MemDurabilityResult",
+    "default_storm",
+    "scenario",
+    "plan_scenarios",
+    "assemble",
+    "run",
+    "format_report",
+    "SWEEP",
+]
 
 MiB = 1024**2
 GiB = 1024**3
@@ -97,7 +112,29 @@ class MemDurabilityResult:
         }
 
     def to_json(self) -> str:
-        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+        return result_to_json(self)
+
+    def format_report(self) -> str:
+        rows = []
+        for p in self.points:
+            rows.append([
+                p.label, p.accesses,
+                f"{p.completion_ratio * 100:.1f}%",
+                p.data_loss_accesses, p.retried_accesses, p.failovers,
+                p.stale_reads_averted, p.replicas_lost, p.migrations,
+                p.repairs + p.resyncs, f"{p.moved_mib:.1f}",
+            ])
+        table = render_table(
+            ["factor", "accesses", "completed", "lost", "retried", "failovers",
+             "stale averted", "replicas lost", "migrated", "repaired", "moved (MiB)"],
+            rows,
+            title=(f"Memory durability — paging through a crash+drain storm "
+                   f"({self.window_s:g}s window)"),
+        )
+        return table + (
+            "\nk=1 is the seed service: destroyed replicas are gone for good."
+            " Replication turns the same storm into failovers and repairs."
+        )
 
 
 def default_storm(window_s: float) -> FaultPlan:
@@ -123,9 +160,58 @@ def default_storm(window_s: float) -> FaultPlan:
     )
 
 
-def _scenario(replication: int, window_s: float, seed: int,
-              accesses: int, pages: np.ndarray, dirty: np.ndarray,
-              size_bytes: int, chunk_bytes: int) -> MemDurabilityPoint:
+def _access_trace(seed: int, accesses: int, size_bytes: int):
+    """The pre-generated paging trace (pages, dirty flags).
+
+    Derived from ``seed + 17`` so it is *independent* of the per-factor
+    scenario and identical for every replication factor: the workloads
+    are the same, only the durability layer differs.
+    """
+    trace_rng = np.random.default_rng(seed + 17)
+    total_pages = size_bytes // (2 * MiB)
+    pages = trace_rng.integers(0, total_pages, size=accesses)
+    dirty = trace_rng.random(accesses) < 0.5
+    return pages, dirty
+
+
+def _paging_workload(env, pager, pages, dirty, gap: float, counters: dict):
+    """Replay the access trace with fixed-backoff retries.
+
+    Module-level (not a ``scenario``-local closure) so scenario
+    functions stay picklable; tallies land in ``counters``.
+    """
+    for i in range(len(pages)):
+        yield env.timeout(gap)
+        attempt = 0
+        while True:
+            try:
+                yield pager.touch(int(pages[i]), dirty=bool(dirty[i]))
+                counters["completed"] += 1
+                break
+            except DataLossError:
+                counters["losses"] += 1
+                break
+            except MemoryServiceUnavailable:
+                attempt += 1
+                if attempt > ACCESS_RETRIES:
+                    break
+                counters["retried"] += 1
+                yield env.timeout(RETRY_BACKOFF_S)
+
+
+def scenario(params: dict, seed: int) -> dict:
+    """One durability scenario as a pure function of ``(params, seed)``.
+
+    ``params``: ``replication``, ``window_s``, ``accesses``,
+    ``size_bytes``, ``chunk_bytes``.  Returns the
+    :class:`MemDurabilityPoint` as a plain dict.
+    """
+    replication: int = params["replication"]
+    window_s: float = params["window_s"]
+    accesses: int = params["accesses"]
+    size_bytes: int = params["size_bytes"]
+    chunk_bytes: int = params["chunk_bytes"]
+    pages, dirty = _access_trace(seed, accesses, size_bytes)
     config = DurableMemoryConfig(
         size_bytes=size_bytes, chunk_bytes=chunk_bytes,
         replication=replication, repair_interval_s=0.25, hosts=HOSTS,
@@ -146,46 +232,25 @@ def _scenario(replication: int, window_s: float, seed: int,
     client = platform.memory_client("n0000", user="pager")
     pager = RemotePager(env, client, page_bytes=2 * MiB, resident_pages=4)
 
-    completed = 0
-    losses = 0
-    retried = 0
+    counters = {"completed": 0, "losses": 0, "retried": 0}
     gap = window_s / (accesses + 1)
 
-    def workload():
-        nonlocal completed, losses, retried
-        for i in range(accesses):
-            yield env.timeout(gap)
-            attempt = 0
-            while True:
-                try:
-                    yield pager.touch(int(pages[i]), dirty=bool(dirty[i]))
-                    completed += 1
-                    break
-                except DataLossError:
-                    losses += 1
-                    break
-                except MemoryServiceUnavailable:
-                    attempt += 1
-                    if attempt > ACCESS_RETRIES:
-                        break
-                    retried += 1
-                    yield env.timeout(RETRY_BACKOFF_S)
-
-    platform.process(workload())
+    platform.process(_paging_workload(env, pager, pages, dirty, gap, counters))
     platform.run_until(window_s + 10.0)
     service = platform.durable_memory
     service.stop()
     platform.run()
 
     stats = service.stats()
-    return MemDurabilityPoint(
+    completed = counters["completed"]
+    return asdict(MemDurabilityPoint(
         label=f"k={replication}",
         replication=replication,
         accesses=accesses,
         completed=completed,
         completion_ratio=round(completed / accesses, 6) if accesses else 0.0,
-        data_loss_accesses=losses,
-        retried_accesses=retried,
+        data_loss_accesses=counters["losses"],
+        retried_accesses=counters["retried"],
         failovers=client.failovers,
         checksum_failures=client.checksum_failures,
         stale_reads_averted=client.stale_reads_averted,
@@ -196,7 +261,46 @@ def _scenario(replication: int, window_s: float, seed: int,
         resyncs=stats["resyncs"],
         moved_mib=round(stats["moved_bytes"] / MiB, 6),
         faults_injected=len(platform.injector.injected),
+    ))
+
+
+def plan_scenarios(
+    factors=DEFAULT_FACTORS,
+    window_s: float = 20.0,
+    seed: int = 0,
+    accesses: int = 400,
+    size_bytes: int = 64 * MiB,
+    chunk_bytes: int = 16 * MiB,
+) -> SweepPlan:
+    """Fix the canonical scenario order: one scenario per factor."""
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if accesses < 1:
+        raise ValueError("need at least one access")
+    scenarios = tuple(
+        ScenarioSpec(
+            fn=scenario,
+            params={
+                "replication": k,
+                "window_s": window_s,
+                "accesses": accesses,
+                "size_bytes": size_bytes,
+                "chunk_bytes": chunk_bytes,
+            },
+            seed=seed,
+            label=f"k={k}",
+        )
+        for k in factors
     )
+    return SweepPlan(scenarios=scenarios,
+                     meta={"window_s": window_s, "seed": seed})
+
+
+def assemble(points: list[dict], meta: dict) -> MemDurabilityResult:
+    """Rebuild the typed result from point dicts, in plan order."""
+    result = MemDurabilityResult(window_s=meta["window_s"], seed=meta["seed"])
+    result.points = [MemDurabilityPoint(**point) for point in points]
+    return result
 
 
 def run(
@@ -207,44 +311,25 @@ def run(
     size_bytes: int = 64 * MiB,
     chunk_bytes: int = 16 * MiB,
 ) -> MemDurabilityResult:
-    """Replay the storm + paging trace for each replication factor."""
-    if window_s <= 0:
-        raise ValueError("window_s must be positive")
-    if accesses < 1:
-        raise ValueError("need at least one access")
-    # One pre-generated trace shared by every factor: the workloads are
-    # identical, only the durability layer differs.
-    trace_rng = np.random.default_rng(seed + 17)
-    total_pages = size_bytes // (2 * MiB)
-    pages = trace_rng.integers(0, total_pages, size=accesses)
-    dirty = trace_rng.random(accesses) < 0.5
-    result = MemDurabilityResult(window_s=window_s, seed=seed)
-    for k in factors:
-        result.points.append(
-            _scenario(k, window_s, seed, accesses, pages, dirty,
-                      size_bytes, chunk_bytes)
-        )
-    return result
+    """Serial shim: replay the storm + trace for each replication factor.
+
+    For multi-core execution use :func:`repro.sweep.run_sweep`
+    (``repro memdurability --jobs N``).
+    """
+    return SWEEP.run_serial(
+        factors=factors, window_s=window_s, seed=seed, accesses=accesses,
+        size_bytes=size_bytes, chunk_bytes=chunk_bytes,
+    )
 
 
 def format_report(result: MemDurabilityResult) -> str:
-    rows = []
-    for p in result.points:
-        rows.append([
-            p.label, p.accesses,
-            f"{p.completion_ratio * 100:.1f}%",
-            p.data_loss_accesses, p.retried_accesses, p.failovers,
-            p.stale_reads_averted, p.replicas_lost, p.migrations,
-            p.repairs + p.resyncs, f"{p.moved_mib:.1f}",
-        ])
-    table = render_table(
-        ["factor", "accesses", "completed", "lost", "retried", "failovers",
-         "stale averted", "replicas lost", "migrated", "repaired", "moved (MiB)"],
-        rows,
-        title=(f"Memory durability — paging through a crash+drain storm "
-               f"({result.window_s:g}s window)"),
-    )
-    return table + (
-        "\nk=1 is the seed service: destroyed replicas are gone for good."
-        " Replication turns the same storm into failovers and repairs."
-    )
+    return result.format_report()
+
+
+SWEEP = register_sweep(Sweep(
+    name="memdurability",
+    description="replicated memory service under a crash+drain storm",
+    plan=plan_scenarios,
+    assemble=assemble,
+    result_type=MemDurabilityResult,
+))

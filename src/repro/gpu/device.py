@@ -10,7 +10,6 @@ warm datasets are evicted LRU under memory pressure.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional
 
@@ -19,7 +18,6 @@ from ..sim.engine import Environment, Process
 
 __all__ = ["GpuDevice", "GpuMemoryError", "KernelLaunch"]
 
-_launch_ids = itertools.count(1)
 
 
 class GpuMemoryError(MemoryError):
@@ -116,7 +114,7 @@ class GpuDevice:
             raise ValueError("negative kernel runtime")
         if not 0 < occupancy <= 1:
             raise ValueError("occupancy in (0, 1]")
-        launch = KernelLaunch(next(_launch_ids), owner, runtime_s, occupancy)
+        launch = KernelLaunch(self.env.next_id("gpu-launch"), owner, runtime_s, occupancy)
 
         def run():
             self._resident[launch.launch_id] = launch

@@ -14,7 +14,6 @@ implementations default to at these scales.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -24,7 +23,6 @@ from ..sim.resources import FilterStore
 
 __all__ = ["MpiMessage", "Communicator"]
 
-_comm_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -43,7 +41,7 @@ class Communicator:
                  rank_nodes: list[str], user: str = "mpifn"):
         if not rank_nodes:
             raise ValueError("need >= 1 rank")
-        self.comm_id = next(_comm_ids)
+        self.comm_id = env.next_id("communicator")
         self.env = env
         self.fabric = fabric
         self.rank_nodes = list(rank_nodes)

@@ -16,9 +16,6 @@ from dataclasses import dataclass, field
 
 __all__ = ["Credential", "DrcError", "DrcManager"]
 
-_cred_ids = itertools.count(1000)
-
-
 class DrcError(PermissionError):
     """Credential missing, revoked, or not granted to the requesting user."""
 
@@ -39,10 +36,13 @@ class DrcManager:
 
     def __init__(self):
         self._credentials: dict[int, Credential] = {}
+        # Per-manager counter: credential ids are deterministic per
+        # simulated machine, independent of interpreter history.
+        self._cred_ids = itertools.count(1000)
 
     def acquire(self, owner: str) -> Credential:
         """Allocate a fresh credential owned by ``owner``."""
-        cred = Credential(cred_id=next(_cred_ids), owner=owner)
+        cred = Credential(cred_id=next(self._cred_ids), owner=owner)
         self._credentials[cred.cred_id] = cred
         return cred
 

@@ -13,7 +13,6 @@ point (Fig. 13) measure.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
 import numpy as np
@@ -32,7 +31,6 @@ __all__ = [
     "TransferDropped",
 ]
 
-_conn_ids = itertools.count(1)
 
 
 class TransferDropped(ConnectionError):
@@ -152,7 +150,7 @@ class Connection:
         user: str,
         cred_id: Optional[int],
     ):
-        self.conn_id = next(_conn_ids)
+        self.conn_id = fabric.env.next_id("connection")
         self.fabric = fabric
         self.src = src
         self.dst = dst

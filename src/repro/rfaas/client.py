@@ -17,7 +17,6 @@ and get a :class:`~repro.faults.DegradedResult` back.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import replace
 from typing import Optional
 
@@ -43,8 +42,6 @@ from .messages import InvocationRequest, InvocationResult, InvocationStatus
 from .registry import FunctionDef, FunctionRegistry
 
 __all__ = ["RFaaSClient"]
-
-_client_ids = itertools.count(1)
 
 # Interrupt cause used when the client aborts its own execution because
 # the RetryPolicy deadline elapsed (vs. a platform-side reclaim).
@@ -73,7 +70,7 @@ class RFaaSClient:
         self.fabric = fabric
         self.functions = functions
         self.client_node = client_node
-        self.name = name or f"client-{next(_client_ids)}"
+        self.name = name or f"client-{env.next_id('rfaas-client')}"
         self.retry_policy = retry_policy
         self.max_redirects = retry_policy.max_redirects
         self.rng = rng
@@ -276,7 +273,10 @@ class RFaaSClient:
                 function=fdef.name, client=self.name,
             )
             req_ctx = ctx.child(root_span.span_id)
-        request = InvocationRequest(function=fdef.name, payload_bytes=payload_bytes)
+        request = InvocationRequest(
+            function=fdef.name, payload_bytes=payload_bytes,
+            invocation_id=self.env.next_id("rfaas-invocation"),
+        )
         exclude: tuple[str, ...] = ()
         resume_offset = 0.0
         t_begin = self.env.now

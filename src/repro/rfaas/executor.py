@@ -17,7 +17,6 @@ interference becomes visible to serverless users.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
 import numpy as np
@@ -35,8 +34,6 @@ from .messages import InvocationRequest, InvocationResult, InvocationStatus, Tim
 from .registry import FunctionDef
 
 __all__ = ["Executor", "ExecutorMode", "TerminationError"]
-
-_executor_ids = itertools.count(1)
 
 
 class ExecutorMode:
@@ -72,7 +69,7 @@ class Executor:
             raise ValueError(f"unknown executor mode {mode!r}")
         if max_invocation_s <= 0:
             raise ValueError("max_invocation_s must be positive")
-        self.executor_id = next(_executor_ids)
+        self.executor_id = env.next_id("rfaas-executor")
         self.env = env
         self.node = node
         self.warm_pool = warm_pool

@@ -34,6 +34,8 @@ class Lease:
     cores: int
     memory_bytes: int
     gpus: int = 0
+    # Module-global fallback for bare construction (tests); the manager
+    # passes env.next_id("rfaas-lease") so ids are per-environment.
     lease_id: int = field(default_factory=lambda: next(_lease_ids))
     state: LeaseState = LeaseState.ACTIVE
     on_cancel: list[Callable[["Lease"], None]] = field(default_factory=list)

@@ -288,6 +288,7 @@ class ResourceManager:
         lease = Lease(
             client=client, node_name=chosen.node_name,
             cores=cores, memory_bytes=memory_bytes, gpus=gpus,
+            lease_id=self.env.next_id("rfaas-lease"),
         )
         chosen.cores_free -= cores
         chosen.memory_free -= memory_bytes

@@ -27,6 +27,8 @@ class InvocationRequest:
 
     function: str
     payload_bytes: int
+    # Module-global fallback for bare construction (tests); the client
+    # passes env.next_id("rfaas-invocation") so ids are per-environment.
     invocation_id: int = field(default_factory=lambda: next(_invocation_ids))
     # Completed work (seconds of nominal runtime) restored from a
     # checkpoint after a termination; 0 = fresh start.

@@ -61,10 +61,16 @@ class JobSpec:
 
 
 class Job:
-    """A job instance moving through the batch system."""
+    """A job instance moving through the batch system.
 
-    def __init__(self, spec: JobSpec, submit_time: float = 0.0):
-        self.job_id = next(_job_ids)
+    ``job_id`` defaults to a module-global counter for bare construction
+    (tests); the scheduler passes ``env.next_id`` so ids are scoped to
+    one simulation, independent of interpreter history.
+    """
+
+    def __init__(self, spec: JobSpec, submit_time: float = 0.0,
+                 job_id: Optional[int] = None):
+        self.job_id = job_id if job_id is not None else next(_job_ids)
         self.spec = spec
         self.submit_time = submit_time
         self.state = JobState.PENDING

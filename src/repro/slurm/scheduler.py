@@ -111,7 +111,8 @@ class BatchScheduler:
                 f"job (nodes={spec.nodes}, walltime={spec.walltime}) "
                 f"not admissible in partition {spec.partition!r}"
             )
-        job = Job(spec, submit_time=self.env.now if submit_time is None else submit_time)
+        job = Job(spec, submit_time=self.env.now if submit_time is None else submit_time,
+                  job_id=self.env.next_id("slurm-job"))
         self.queue.append(job)
         self.log.emit(self.env.now, "submit", job_id=job.job_id, app=spec.app, nodes=spec.nodes)
         self._m_submitted.inc()

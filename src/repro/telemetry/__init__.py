@@ -42,8 +42,8 @@ from .causal import (
     trace_root,
     trace_summaries,
 )
-from .context import TraceContext
-from .span import Span, SpanKind
+from .context import TraceContext, reset_trace_ids
+from .span import Span, SpanKind, reset_span_ids
 from .streaming import (
     FlightRecorder,
     JsonlStreamWriter,
@@ -61,7 +61,9 @@ from .tracer import NULL_TRACER, NullTracer, Tracer
 __all__ = [
     "Span",
     "SpanKind",
+    "reset_span_ids",
     "TraceContext",
+    "reset_trace_ids",
     "P2Quantile",
     "StreamStats",
     "JsonlStreamWriter",

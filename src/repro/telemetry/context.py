@@ -32,9 +32,20 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
-__all__ = ["TraceContext"]
+__all__ = ["TraceContext", "reset_trace_ids"]
 
 _trace_ids = itertools.count(1)
+
+
+def reset_trace_ids() -> None:
+    """Restart trace-id allocation at 1 (see ``span.reset_span_ids``).
+
+    The sweep runner calls this before each scenario's private span
+    stream so trace ids — like span ids — are a pure function of the
+    scenario, not of interpreter history.
+    """
+    global _trace_ids
+    _trace_ids = itertools.count(1)
 
 
 class TraceContext:

@@ -12,9 +12,24 @@ from __future__ import annotations
 import itertools
 from typing import Any, Optional
 
-__all__ = ["Span", "SpanKind"]
+__all__ = ["Span", "SpanKind", "reset_span_ids"]
 
 _span_ids = itertools.count(1)
+
+
+def reset_span_ids() -> None:
+    """Restart span-id allocation at 1.
+
+    Span ids are process-global, so streamed span bytes depend on what
+    ran earlier in the interpreter.  The sweep runner resets the counter
+    before each scenario's private pipeline, making every scenario's
+    stream a pure function of ``(params, seed)`` — the merged stream is
+    then byte-identical at any ``--jobs`` count.  Only call this when
+    no collector with recorded spans is active: ids are unique per
+    counter epoch, and parent links must not straddle a reset.
+    """
+    global _span_ids
+    _span_ids = itertools.count(1)
 
 
 class SpanKind:

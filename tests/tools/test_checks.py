@@ -12,8 +12,8 @@ sys.path.insert(0, str(REPO_ROOT))
 from tools import checks  # noqa: E402
 
 
-def test_registry_contains_both_repo_lints():
-    assert set(checks.CHECKS) == {"metric-names", "public-api"}
+def test_registry_contains_every_repo_lint():
+    assert set(checks.CHECKS) == {"metric-names", "public-api", "sweeps"}
     for fn in checks.CHECKS.values():
         assert callable(fn)
 
@@ -21,6 +21,7 @@ def test_registry_contains_both_repo_lints():
 def test_run_executes_a_single_check():
     assert checks.run("metric-names") == []
     assert checks.run("public-api") == []
+    assert checks.run("sweeps") == []
 
 
 def test_run_unknown_check_raises_with_registered_names():
@@ -46,9 +47,12 @@ def test_main_exit_codes(capsys, monkeypatch):
     assert checks.main([]) == 0
     out = capsys.readouterr().out
     assert "metric-names: ok" in out and "public-api: ok" in out
+    assert "sweeps: ok" in out
 
     assert checks.main(["--list"]) == 0
-    assert capsys.readouterr().out.splitlines() == ["metric-names", "public-api"]
+    assert capsys.readouterr().out.splitlines() == [
+        "metric-names", "public-api", "sweeps",
+    ]
 
     assert checks.main(["bogus"]) == 2
     assert "bogus" in capsys.readouterr().err

@@ -37,7 +37,15 @@ BASELINE_PATH = REPO_ROOT / "BENCH_engine.json"
 BENCHES: dict[str, tuple[str, pathlib.Path]] = {
     "engine": ("bench_engine", BASELINE_PATH),
     "obs": ("bench_obs", REPO_ROOT / "BENCH_obs.json"),
+    "sweep": ("bench_sweep", REPO_ROOT / "BENCH_sweep.json"),
 }
+
+#: Throughput metrics gate on a floor (value must not drop); everything
+#: else is wall time and gates on a ceiling.
+HIGHER_IS_BETTER = {"events_per_s", "scenarios_per_min"}
+
+#: Display/rounding unit per throughput metric.
+_UNITS = {"events_per_s": "events/s", "scenarios_per_min": "scenarios/min"}
 
 # Make both the package under src/ and the benchmarks directory
 # importable regardless of how this script is invoked.
@@ -78,11 +86,12 @@ def compare(baseline: dict, measurements: dict[str, dict]) -> list[str]:
         tol = float(tolerances.get(metric, 0.3))
         value = float(measured["value"])
         after = float(recorded["after"])
-        if metric == "events_per_s":
+        if metric in HIGHER_IS_BETTER:
             floor = after * (1.0 - tol)
             if value < floor:
+                unit = _UNITS.get(metric, metric)
                 problems.append(
-                    f"{name}: {value:,.0f} events/s is below the tolerance floor "
+                    f"{name}: {value:,.0f} {unit} is below the tolerance floor "
                     f"{floor:,.0f} (baseline {after:,.0f}, tol {tol:.0%})"
                 )
         else:
@@ -99,9 +108,11 @@ def _format_row(name: str, recorded: dict, measured: dict) -> str:
     metric = recorded["metric"]
     before = float(recorded.get("before", recorded["after"]))
     speedup = float(recorded.get("speedup", 1.0))
-    if metric == "events_per_s":
+    if metric in HIGHER_IS_BETTER:
+        unit = _UNITS.get(metric, metric)
+        note = " [modeled]" if measured.get("modeled") else ""
         return (
-            f"  {name:<16} {measured['value']:>12,.0f} events/s"
+            f"  {name:<16} {measured['value']:>12,.0f} {unit}{note}"
             f"  (baseline {float(recorded['after']):,.0f},"
             f" pre-optimization {before:,.0f},"
             f" recorded speedup {speedup:.2f}x)"
@@ -135,12 +146,13 @@ def _run_suite(suite: str, args: argparse.Namespace) -> list[str]:
             recorded["after"] = round(measured["value"], 4 if measured["metric"] == "wall_s" else 0)
             before = float(recorded.get("before", measured["value"]))
             recorded.setdefault("before", before)
-            if measured["metric"] == "events_per_s":
+            if measured["metric"] in HIGHER_IS_BETTER:
                 recorded["speedup"] = round(measured["value"] / before, 2)
             else:
                 recorded["speedup"] = round(before / measured["value"], 2)
-            if "events" in measured:
-                recorded["events"] = measured["events"]
+            for extra in ("events", "scenarios", "workers", "modeled", "cores"):
+                if extra in measured:
+                    recorded[extra] = measured[extra]
         write_baseline(baseline, baseline_path)
         print(f"baseline updated -> {baseline_path}")
         return []
