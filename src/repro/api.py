@@ -55,6 +55,7 @@ from .cloudfaas import CloudConfig, CloudFaaSPlatform
 from .cluster import Cluster, DAINT_MC, DragonflyTopology, NodeSpec
 from .disagg import ControllerConfig, DisaggregationController
 from .faults import FaultPlan, Injector
+from .gpuservice import GpuService, GpuServiceConfig
 from .memservice import (
     DurableMemoryClient,
     DurableMemoryConfig,
@@ -113,6 +114,7 @@ class Platform:
         injector: Optional[Injector] = None,
         cloud_config: Optional[CloudConfig] = None,
         durable_memory: Optional[ReplicatedMemoryService] = None,
+        gpuservice: Optional[GpuService] = None,
     ):
         self.env = env
         self.cluster = cluster
@@ -125,6 +127,7 @@ class Platform:
         self.seed = seed
         self.injector = injector
         self.durable_memory = durable_memory
+        self.gpuservice = gpuservice
         self.capacity: Optional[CapacityPlane] = None
         self._cloud: Optional[CloudFaaSPlatform] = None
         self._cloud_config = cloud_config
@@ -140,6 +143,7 @@ class Platform:
         capacity: Any = None,
         cloud: Any = None,
         durable_memory: Any = None,
+        gpu: Any = None,
     ) -> "Platform":
         """Construct environment, cluster, fabric, manager, and registry.
 
@@ -172,6 +176,14 @@ class Platform:
         ``memservice_kill`` events find it.  Its repair loop ticks
         forever — call ``platform.durable_memory.stop()`` before
         draining the event queue with an open-ended ``run()``.
+
+        ``gpu`` builds the GPU control plane at ``platform.gpu``:
+        ``True`` with defaults, or pass a
+        :class:`~repro.gpuservice.GpuServiceConfig`.  The service is
+        started and handed to the fault injector so
+        ``gpu_device_loss`` events find it.  When its config enables
+        the warm-context autoscaler, call ``platform.gpu.stop()``
+        before draining the event queue with an open-ended ``run()``.
         """
         spec = cluster_spec if cluster_spec is not None else ClusterSpec()
         env = Environment()
@@ -219,10 +231,21 @@ class Platform:
             )
             durable.attach_manager(manager)
             durable.start()
+        gpuservice = None
+        if gpu is not None:
+            if gpu is True:
+                gpu_config = GpuServiceConfig()
+            elif isinstance(gpu, GpuServiceConfig):
+                gpu_config = gpu
+            else:
+                raise TypeError("gpu must be None, True, or a GpuServiceConfig")
+            gpuservice = GpuService(env, cluster, config=gpu_config)
+            gpuservice.start()
         injector = None
         if faults is not None and not faults.empty:
             injector = Injector(env, faults, manager, fabric=fabric,
-                                seed=seed + 2, memservice=durable)
+                                seed=seed + 2, memservice=durable,
+                                gpuservice=gpuservice)
             injector.start()
         cloud_config: Optional[CloudConfig] = None
         build_cloud = False
@@ -236,7 +259,7 @@ class Platform:
             env=env, cluster=cluster, drc=drc, fabric=fabric, loads=loads,
             manager=manager, functions=functions, spec=spec, seed=seed,
             injector=injector, cloud_config=cloud_config,
-            durable_memory=durable,
+            durable_memory=durable, gpuservice=gpuservice,
         )
         if build_cloud:
             platform.cloud  # noqa: B018 - force eager construction
@@ -268,6 +291,16 @@ class Platform:
                 rng=np.random.default_rng(self.seed + 3),
             )
         return self._cloud
+
+    @property
+    def gpu(self) -> GpuService:
+        """The GPU control plane (requires ``gpu=`` at build time)."""
+        if self.gpuservice is None:
+            raise RuntimeError(
+                "platform was built without a GPU service; pass gpu=True "
+                "(or a GpuServiceConfig) to build()"
+            )
+        return self.gpuservice
 
     @property
     def controller(self) -> Optional[DisaggregationController]:

@@ -53,6 +53,7 @@ from .experiments import (
     fig11_memory_sharing,
     fig12_gpu_sharing,
     fig13_offloading,
+    gpu_scaling_sweep,
     memdurability_sweep,
     tab03_idle_node,
 )
@@ -93,6 +94,7 @@ EXPERIMENTS: dict[str, tuple[Any, str]] = {
     "chaos": (chaos_sweep, "invocation latency under injected faults"),
     "autoscale": (autoscale_sweep, "predictive vs reactive warm pools under load"),
     "memdurability": (memdurability_sweep, "replicated memory service under a crash+drain storm"),
+    "gpu_scaling": (gpu_scaling_sweep, "GPU invocation batching: batch size vs throughput/latency"),
 }
 
 

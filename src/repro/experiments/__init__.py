@@ -23,6 +23,7 @@ from . import (
     fig11_memory_sharing,
     fig12_gpu_sharing,
     fig13_offloading,
+    gpu_scaling_sweep,
     memdurability_sweep,
     tab03_idle_node,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "base",
     "autoscale_sweep",
     "chaos_sweep",
+    "gpu_scaling_sweep",
     "memdurability_sweep",
     "fig01_utilization",
     "fig07_latency",

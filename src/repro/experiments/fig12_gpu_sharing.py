@@ -22,7 +22,7 @@ from ..disagg import core_hour_discount
 from ..interference import InterferenceModel
 from ..workloads import RODINIA_BENCHMARKS, lulesh_model, milc_model, rodinia_benchmark
 
-__all__ = ["Fig12Cell", "Fig12Result", "run", "format_report"]
+__all__ = ["Fig12Cell", "Fig12Result", "run", "run_platform", "format_report"]
 
 DEFAULT_RODINIA = ("backprop", "bfs", "hotspot", "kmeans", "lavamd", "needle",
                    "pathfinder", "srad")
@@ -86,6 +86,84 @@ def run(
             overload = max(0.0, BATCH_GPU_OCCUPANCY + extra_occ - 1.0)
             sensitivity = _gpu_sensitivity(size, smallest)
             gpu_slow = 1.0 + overload * sensitivity
+            total = (
+                (1 - app.gpu_fraction) * batch_host_slow
+                + app.gpu_fraction * gpu_slow
+            )
+            result.cells.append(
+                Fig12Cell(
+                    batch_app=app_name, problem_size=size, rodinia=key,
+                    batch_slowdown=max(1.0, total),
+                )
+            )
+    return result
+
+
+def run_platform(
+    rodinia_keys=DEFAULT_RODINIA,
+    lulesh_sizes=DEFAULT_LULESH_SIZES,
+    milc_sizes=DEFAULT_MILC_SIZES,
+    spec: NodeSpec = DAINT_GPU,
+    model: InterferenceModel = None,
+    seed: int = 0,
+) -> Fig12Result:
+    """Fig. 12 with the device share *measured* on the platform stack.
+
+    Instead of the closed-form occupancy overload, each Rodinia function
+    keeps a kernel resident on a live :class:`~repro.gpu.device.GpuDevice`
+    (built by ``Platform.build(gpu=...)``) while the batch job launches
+    its own kernel; the batch dilation is read off the simulated wall
+    time.  The SM time-sharing rule makes the measured dilation
+    ``max(1, occ_total)``, so the measured overload ``wall − 1`` equals
+    the analytic ``max(0, occ_total − 1)`` *exactly* (IEEE identity) and
+    the result is numerically identical to :func:`run` — asserted by
+    ``tests/experiments/test_experiments.py``.
+    """
+    from ..api import ClusterSpec, Platform
+    from ..gpuservice import GpuServiceConfig
+
+    model = model or InterferenceModel()
+    platform = Platform.build(
+        ClusterSpec(nodes=1, jitter=0.0), seed=seed,
+        gpu=GpuServiceConfig(gpu_nodes=1),
+    )
+    env = platform.env
+    service = platform.gpu
+    device_name, _ = service.online_slots()[0]
+    device = service.leases.device_of(device_name)
+    measured_overload: dict[str, float] = {}
+
+    def probe():
+        # One probe per Rodinia function: keep its kernel resident at the
+        # duty-cycle-weighted occupancy, launch the batch job's kernel on
+        # top, and measure the batch dilation from the kernel wall time.
+        for key in rodinia_keys:
+            bench = rodinia_benchmark(key)
+            extra_occ = bench.gpu_occupancy * RODINIA_DUTY_CYCLE
+            resident = device.launch(f"fn-{key}", 4.0, extra_occ)
+            yield env.timeout(0.0)  # let the function kernel register
+            wall = yield device.launch("batch", 1.0, BATCH_GPU_OCCUPANCY)
+            measured_overload[key] = wall - 1.0
+            yield resident          # drain the device before the next probe
+
+    platform.process(probe())
+    platform.run()
+    service.stop()
+    platform.run()
+
+    result = Fig12Result(cost_discount=core_hour_discount(9, spec.cores))
+    configs = [("lulesh", s, lulesh_model(s, gpu=True), 9, min(lulesh_sizes)) for s in lulesh_sizes]
+    configs += [("milc", s, milc_model(s, gpu=True), 11, min(milc_sizes)) for s in milc_sizes]
+    for app_name, size, app, ranks, smallest in configs:
+        batch_demand = app.demand(ranks)
+        batch_alone = model.slowdowns(spec, [batch_demand])[0]
+        for key in rodinia_keys:
+            bench = rodinia_benchmark(key)
+            host_demand = bench.host.demand(1)
+            batch_host_slow = (
+                model.slowdowns(spec, [batch_demand, host_demand])[0] / batch_alone
+            )
+            gpu_slow = 1.0 + measured_overload[key] * _gpu_sensitivity(size, smallest)
             total = (
                 (1 - app.gpu_fraction) * batch_host_slow
                 + app.gpu_fraction * gpu_slow

@@ -47,12 +47,14 @@ class Injector:
         rng: Optional[np.random.Generator] = None,
         seed: int = 0,
         memservice=None,              # ReplicatedMemoryService, for memservice faults
+        gpuservice=None,              # GpuService, for gpu_device_loss faults
     ):
         self.env = env
         self.plan = plan
         self.manager = manager
         self.fabric = fabric
         self.memservice = memservice
+        self.gpuservice = gpuservice
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self._process: Optional[Process] = None
         #: (time, kind, target) triples of faults actually applied.
@@ -132,6 +134,7 @@ class Injector:
             FaultKind.STRAGGLER: self._apply_straggler,
             FaultKind.WARMPOOL_PRESSURE: self._apply_warmpool_pressure,
             FaultKind.MEMSERVICE_KILL: self._apply_memservice_kill,
+            FaultKind.GPU_DEVICE_LOSS: self._apply_gpu_device_loss,
         }[event.kind]
         handler(event)
 
@@ -264,3 +267,39 @@ class Injector:
             return
         lost = service.kill_node(node, cause=FaultKind.MEMSERVICE_KILL)
         self._note(event, node, replicas_lost=lost)
+
+    def _apply_gpu_device_loss(self, event: FaultEvent) -> None:
+        """Lose every GPU device on one hosting node.
+
+        Like ``memservice_kill``, the victim comes from the GPU service's
+        *hosting* set (sorted, so the seeded pick is deterministic):
+        devices live wherever the service config placed them, not in the
+        executor registry.  The service revokes the devices' fractional
+        leases and replays queued/in-flight batches on survivors.
+        """
+        service = self.gpuservice
+        if service is None:
+            self.skipped.append(event)
+            return
+        hosts = service.hosting_nodes()
+        if event.node is not None:
+            node = event.node if event.node in hosts else None
+        elif hosts:
+            node = hosts[int(self.rng.integers(len(hosts)))]
+        else:
+            node = None
+        if node is None:
+            self.skipped.append(event)
+            return
+        lost = service.lose_node(node, cause=FaultKind.GPU_DEVICE_LOSS)
+        self._note(event, node, devices_lost=lost, duration=event.duration_s)
+        if event.duration_s > 0:
+            self.env.process(self._restore_gpu_node(node, event.duration_s),
+                             name=f"fault-gpu-restore:{node}")
+
+    def _restore_gpu_node(self, node: str, outage_s: float):
+        yield self.env.timeout(outage_s)
+        restored = self.gpuservice.restore_node(node)
+        if restored:
+            self._tracer.instant("fault.gpu_node_restored", track="faults",
+                                 node=node, devices=restored)

@@ -33,6 +33,11 @@ kind                  meaning
                       node is destroyed instantly (the batch system took the
                       memory back without warning); background repair restores
                       the replication factor from surviving copies
+``gpu_device_loss``   every GPU device on the target node is lost: fractional
+                      leases are revoked (``GpuLeaseRevokedError``), queued and
+                      in-flight batched invocations replay on surviving
+                      devices; with ``duration_s`` > 0 the devices come back
+                      *cold* (warm data gone) once the node heals
 ===================== =========================================================
 """
 
@@ -55,6 +60,7 @@ class FaultKind:
     STRAGGLER = "straggler"
     WARMPOOL_PRESSURE = "warmpool_pressure"
     MEMSERVICE_KILL = "memservice_kill"
+    GPU_DEVICE_LOSS = "gpu_device_loss"
 
     ALL = (
         NODE_CRASH,
@@ -64,6 +70,7 @@ class FaultKind:
         STRAGGLER,
         WARMPOOL_PRESSURE,
         MEMSERVICE_KILL,
+        GPU_DEVICE_LOSS,
     )
 
 
@@ -178,6 +185,11 @@ class FaultPlan:
 
     def memservice_kill(self, at_s: float, node: Optional[str] = None) -> "FaultPlan":
         return self.add(FaultEvent(FaultKind.MEMSERVICE_KILL, at_s, node=node))
+
+    def gpu_device_loss(self, at_s: float, node: Optional[str] = None,
+                        duration_s: float = 0.0) -> "FaultPlan":
+        return self.add(FaultEvent(FaultKind.GPU_DEVICE_LOSS, at_s, node=node,
+                                   duration_s=duration_s))
 
     def shifted(self, offset_s: float) -> "FaultPlan":
         """A copy with every event delayed by ``offset_s``."""

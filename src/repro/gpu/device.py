@@ -56,15 +56,24 @@ class GpuDevice:
         return sum(k.occupancy for k in self._resident.values())
 
     def allocate_memory(self, owner: str, nbytes: int) -> None:
-        """Hard allocation; evicts warm datasets under pressure."""
+        """Hard allocation; evicts warm datasets under pressure.
+
+        All-or-nothing: when even evicting *every* warm dataset could not
+        make the allocation fit, it raises without touching device state —
+        no warm data is sacrificed to an allocation that fails anyway.
+        """
         if nbytes <= 0:
             raise ValueError("allocation must be positive")
-        while self._free_memory < nbytes and self._warm_data:
-            self._evict_lru_warm()
-        if self._free_memory < nbytes:
+        reclaimable = self._free_memory + sum(
+            size for size, _ in self._warm_data.values()
+        )
+        if reclaimable < nbytes:
             raise GpuMemoryError(
                 f"{self.name}: {nbytes} B requested, {self._free_memory} B free"
+                f" ({reclaimable} B even after evicting all warm data)"
             )
+        while self._free_memory < nbytes:
+            self._evict_lru_warm()
         self._free_memory -= nbytes
         self._allocations[owner] = self._allocations.get(owner, 0) + nbytes
 
@@ -75,14 +84,22 @@ class GpuDevice:
 
     # -- warm data (soft allocations) --------------------------------------------
     def keep_warm(self, owner: str, nbytes: int) -> None:
-        """Park a dataset on the device; reclaimable any time."""
+        """Park a dataset on the device; reclaimable any time.
+
+        Re-warming replaces the owner's previous dataset, but only once
+        the new one is known to fit: a failed ``keep_warm`` leaves every
+        warm entry — including the owner's old one — untouched.
+        """
         if nbytes <= 0:
             raise ValueError("warm data must be positive")
-        self.drop_warm(owner)
-        while self._free_memory < nbytes and self._warm_data:
-            self._evict_lru_warm()
-        if self._free_memory < nbytes:
+        reclaimable = self._free_memory + sum(
+            size for size, _ in self._warm_data.values()
+        )
+        if reclaimable < nbytes:
             raise GpuMemoryError(f"{self.name}: no room for warm data")
+        self.drop_warm(owner)
+        while self._free_memory < nbytes:
+            self._evict_lru_warm()
         self._free_memory -= nbytes
         self._warm_data[owner] = (nbytes, self.env.now)
 
@@ -99,7 +116,9 @@ class GpuDevice:
             self._free_memory += entry[0]
 
     def _evict_lru_warm(self) -> None:
-        victim = min(self._warm_data, key=lambda o: self._warm_data[o][1])
+        # Tie-break equal last-used timestamps by owner name: eviction
+        # order must not depend on dict insertion history.
+        victim = min(self._warm_data, key=lambda o: (self._warm_data[o][1], o))
         self.drop_warm(victim)
         self.warm_evictions += 1
 

@@ -4,6 +4,7 @@ from .client import RFaaSClient
 from .errors import (
     AdmissionRejected,
     DataLossError,
+    GpuLeaseRevokedError,
     InvocationTimeout,
     LeaseRevokedError,
     MemoryServiceUnavailable,
@@ -25,6 +26,7 @@ __all__ = [
     "RFaaSError",
     "TerminationError",
     "LeaseRevokedError",
+    "GpuLeaseRevokedError",
     "InvocationTimeout",
     "AdmissionRejected",
     "MemoryServiceUnavailable",

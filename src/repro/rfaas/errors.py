@@ -10,6 +10,12 @@ Every failure the platform reports to user code derives from
     │                         (carries ``checkpoint_s`` + ``cause``)
     ├── LeaseRevokedError     a lease was cancelled by the platform
     │                         before/while the client was using it
+    │   └── GpuLeaseRevokedError
+    │                         a fractional GPU lease (occupancy + device
+    │                         memory share) was revoked — the device was
+    │                         lost or reclaimed; queued/batched work
+    │                         replays on a surviving device (carries
+    │                         ``device`` + ``cause``)
     ├── InvocationTimeout     the client-side invocation deadline
     │                         (``RetryPolicy.timeout_s``) elapsed
     ├── AdmissionRejected     the capacity plane's admission gate said
@@ -46,6 +52,7 @@ __all__ = [
     "NoCapacityError",
     "TerminationError",
     "LeaseRevokedError",
+    "GpuLeaseRevokedError",
     "InvocationTimeout",
     "AdmissionRejected",
     "MemoryServiceUnavailable",
@@ -84,6 +91,25 @@ class LeaseRevokedError(RFaaSError):
     def __init__(self, message: str, node_name: Optional[str] = None):
         super().__init__(message)
         self.node_name = node_name
+
+
+class GpuLeaseRevokedError(LeaseRevokedError):
+    """A fractional GPU lease was revoked by the platform.
+
+    GPU leases grant MPS-style *shares* of one device — an SM occupancy
+    fraction plus a device-memory reservation — so revocation means the
+    device itself was lost or reclaimed, not just one client's slot.
+    ``device`` names the accelerator (``node_name`` keeps naming its
+    host); ``cause`` says why (``"gpu_device_loss"``, ``"reclaim"``).
+    Like its parent, it is *retryable*: the GPU service replays queued
+    and in-flight batched invocations on a surviving device.
+    """
+
+    def __init__(self, message: str, node_name: Optional[str] = None,
+                 device: Optional[str] = None, cause: Any = "reclaim"):
+        super().__init__(message, node_name=node_name)
+        self.device = device
+        self.cause = cause
 
 
 class InvocationTimeout(RFaaSError):

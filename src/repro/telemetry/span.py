@@ -46,6 +46,9 @@ class SpanKind:
     EXECUTION = "rfaas.execution"
     LEASE = "rfaas.lease"
     WARMPOOL_ACQUIRE = "warmpool.acquire"
+    GPU_REQUEST = "gpu.request"          # root of one GPU invocation
+    GPU_BATCH = "gpu.batch"              # one coalesced kernel launch
+    GPU_BATCH_ITEM = "gpu.batch.item"    # one request's ride on a batch
     JOB = "slurm.job"
     OFFLOAD_LOCAL = "offload.local"
     OFFLOAD_REMOTE = "offload.remote"

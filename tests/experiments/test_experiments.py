@@ -190,6 +190,17 @@ def test_fig12_low_overhead_with_small_size_outliers():
     assert "Fig. 12" in fig12_gpu_sharing.format_report(result)
 
 
+def test_fig12_platform_measurement_is_numerically_identical():
+    """The device share measured on a live GpuDevice (through the
+    Platform facade) reproduces the analytic occupancy-overload model
+    bit-for-bit: kernel time-sharing dilates the batch kernel by
+    ``max(1, occ)``, and ``max(1, occ) - 1 == max(0, occ - 1)``."""
+    analytic = fig12_gpu_sharing.run()
+    measured = fig12_gpu_sharing.run_platform()
+    assert measured.cost_discount == analytic.cost_discount
+    assert measured.cells == analytic.cells
+
+
 # ---- Fig. 13 ---------------------------------------------------------------------
 
 @pytest.fixture(scope="module")

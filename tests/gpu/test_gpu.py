@@ -150,3 +150,54 @@ def test_remote_gpu_adds_per_kernel_latency():
     assert remote == pytest.approx(local + overhead)
     # Hundreds of kernels -> overhead scales linearly with kernel count.
     assert remote_gpu_overhead(spec(kernels=400), UGNI.params) == pytest.approx(2 * overhead)
+
+
+# -- warm-data eviction edge cases (regression tests) -------------------------
+
+def test_exact_fit_allocation_after_lru_eviction():
+    env, dev = make_device()
+    dev.keep_warm("old", 4 * GiB)
+    dev.keep_warm("new", 4 * GiB)
+    # Exactly free + all warm data: must succeed by evicting both.
+    dev.allocate_memory("job", P100.memory_bytes)
+    assert dev.free_memory == 0
+    assert not dev.has_warm("old") and not dev.has_warm("new")
+    assert dev.warm_evictions == 2
+
+
+def test_eviction_tie_break_is_deterministic_on_owner_name():
+    # Equal last-used stamps (same sim time): eviction order must not
+    # depend on insertion order, only on the owner name.
+    for order in (("b", "a", "c"), ("c", "b", "a"), ("a", "c", "b")):
+        env, dev = make_device()
+        for owner in order:
+            dev.keep_warm(owner, 4 * GiB)
+        dev.allocate_memory("job", P100.memory_bytes - 8 * GiB)
+        # One eviction was needed; the name tie-break picks "a".
+        assert dev.warm_evictions == 1
+        assert not dev.has_warm("a")
+        assert dev.has_warm("b") and dev.has_warm("c")
+
+
+def test_failed_allocation_leaves_warm_data_untouched():
+    env, dev = make_device()
+    dev.keep_warm("cache", 4 * GiB)
+    with pytest.raises(GpuMemoryError):
+        dev.allocate_memory("job", P100.memory_bytes + 1)
+    # All-or-nothing: the doomed allocation must not have evicted the
+    # warm dataset (or drained free memory) on its way to the error.
+    assert dev.has_warm("cache")
+    assert dev.warm_evictions == 0
+    assert dev.free_memory == P100.memory_bytes - 4 * GiB
+
+
+def test_failed_keep_warm_preserves_the_owners_old_dataset():
+    env, dev = make_device()
+    dev.allocate_memory("pin", P100.memory_bytes - 4 * GiB)
+    dev.keep_warm("cache", 2 * GiB)
+    with pytest.raises(GpuMemoryError):
+        dev.keep_warm("cache", 8 * GiB)  # cannot fit even after evictions
+    # Re-warming is fit-checked *before* dropping the old entry: a
+    # failed re-warm keeps the previous dataset resident.
+    assert dev.has_warm("cache")
+    assert dev.free_memory == 2 * GiB

@@ -20,6 +20,8 @@ SWEEP_ARGS = {
     "autoscale": ["autoscale", "--loads", "1.0", "--window", "6"],
     "memdurability": ["memdurability", "--factors", "1,2",
                       "--accesses", "40", "--window", "5"],
+    "gpu_scaling": ["sweep", "gpu_scaling", "--set", "batch_sizes=(1, 4, 16)",
+                    "--set", "requests=512"],
 }
 
 

@@ -12,7 +12,8 @@ import pytest
 
 from repro.api import ClusterSpec
 from repro.capacity import CapacityConfig
-from repro.experiments import autoscale_sweep, chaos_sweep, memdurability_sweep
+from repro.experiments import (autoscale_sweep, chaos_sweep,
+                               gpu_scaling_sweep, memdurability_sweep)
 from repro.faults import FaultPlan
 from repro.memservice import DurableMemoryConfig
 
@@ -51,7 +52,7 @@ def test_cluster_spec_roundtrips():
 
 
 @pytest.mark.parametrize("module", [chaos_sweep, autoscale_sweep,
-                                    memdurability_sweep])
+                                    gpu_scaling_sweep, memdurability_sweep])
 def test_every_planned_scenario_spec_roundtrips(module):
     for spec in module.plan_scenarios().scenarios:
         clone = _roundtrip(spec)

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.experiments import autoscale_sweep, chaos_sweep, memdurability_sweep
+from repro.experiments import (autoscale_sweep, chaos_sweep,
+                               gpu_scaling_sweep, memdurability_sweep)
 from repro.experiments.base import (
     ScenarioSpec,
     Sweep,
@@ -26,7 +27,7 @@ def test_scenario_spec_executes_fn_with_params_and_seed():
 
 
 def test_builtin_sweeps_are_registered():
-    assert {"chaos", "autoscale", "memdurability"} <= set(registered_sweeps())
+    assert {"chaos", "autoscale", "gpu_scaling", "memdurability"} <= set(registered_sweeps())
     assert sweep_names() == list(registered_sweeps())
 
 
@@ -49,7 +50,7 @@ def test_register_sweep_rejects_a_second_sweep_under_the_same_name():
 
 
 @pytest.mark.parametrize("module", [chaos_sweep, autoscale_sweep,
-                                    memdurability_sweep])
+                                    gpu_scaling_sweep, memdurability_sweep])
 def test_default_plans_fix_order_seeds_and_labels(module):
     plan = module.plan_scenarios()
     assert isinstance(plan, SweepPlan)

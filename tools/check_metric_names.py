@@ -29,6 +29,7 @@ KNOWN_SUBSYSTEMS = frozenset({
     "capacity",    # capacity control plane: forecast/autoscale/admit/burst
     "executor",
     "faults",
+    "gpu",         # GPU control plane: leases/batching/warm pools/replay
     "manager",
     "memservice",  # durable memory service: replication/migration/repair
     "red",         # streaming per-tenant RED (rate/errors/duration) rollup

@@ -29,7 +29,8 @@ MANIFEST_PATH = REPO_ROOT / "tools" / "public_api.json"
 
 #: Modules whose exported surface is under contract.
 MODULES = ("repro.api", "repro.capacity", "repro.experiments.base",
-           "repro.faults", "repro.memservice", "repro.rfaas", "repro.sweep")
+           "repro.faults", "repro.gpuservice", "repro.memservice",
+           "repro.rfaas", "repro.sweep")
 
 
 def _signature_of(obj) -> str:

@@ -38,14 +38,16 @@ BENCHES: dict[str, tuple[str, pathlib.Path]] = {
     "engine": ("bench_engine", BASELINE_PATH),
     "obs": ("bench_obs", REPO_ROOT / "BENCH_obs.json"),
     "sweep": ("bench_sweep", REPO_ROOT / "BENCH_sweep.json"),
+    "gpu": ("bench_gpu", REPO_ROOT / "BENCH_gpu.json"),
 }
 
 #: Throughput metrics gate on a floor (value must not drop); everything
 #: else is wall time and gates on a ceiling.
-HIGHER_IS_BETTER = {"events_per_s", "scenarios_per_min"}
+HIGHER_IS_BETTER = {"events_per_s", "scenarios_per_min", "requests_per_s"}
 
 #: Display/rounding unit per throughput metric.
-_UNITS = {"events_per_s": "events/s", "scenarios_per_min": "scenarios/min"}
+_UNITS = {"events_per_s": "events/s", "scenarios_per_min": "scenarios/min",
+          "requests_per_s": "requests/s"}
 
 # Make both the package under src/ and the benchmarks directory
 # importable regardless of how this script is invoked.
