@@ -53,6 +53,7 @@ import numpy as np
 from .capacity import CapacityConfig, CapacityPlane
 from .cloudfaas import CloudConfig, CloudFaaSPlatform
 from .cluster import Cluster, DAINT_MC, DragonflyTopology, NodeSpec
+from .controlplane import HAConfig, ReplicatedResourceManager
 from .disagg import ControllerConfig, DisaggregationController
 from .faults import FaultPlan, Injector
 from .gpuservice import GpuService, GpuServiceConfig
@@ -115,6 +116,7 @@ class Platform:
         cloud_config: Optional[CloudConfig] = None,
         durable_memory: Optional[ReplicatedMemoryService] = None,
         gpuservice: Optional[GpuService] = None,
+        controlplane: Optional[ReplicatedResourceManager] = None,
     ):
         self.env = env
         self.cluster = cluster
@@ -128,6 +130,7 @@ class Platform:
         self.injector = injector
         self.durable_memory = durable_memory
         self.gpuservice = gpuservice
+        self.controlplane = controlplane
         self.capacity: Optional[CapacityPlane] = None
         self._cloud: Optional[CloudFaaSPlatform] = None
         self._cloud_config = cloud_config
@@ -144,6 +147,7 @@ class Platform:
         cloud: Any = None,
         durable_memory: Any = None,
         gpu: Any = None,
+        ha: Any = None,
     ) -> "Platform":
         """Construct environment, cluster, fabric, manager, and registry.
 
@@ -184,6 +188,17 @@ class Platform:
         ``gpu_device_loss`` events find it.  When its config enables
         the warm-context autoscaler, call ``platform.gpu.stop()``
         before draining the event queue with an open-ended ``run()``.
+
+        ``ha`` replicates the resource manager: ``True`` with a default
+        :class:`~repro.controlplane.HAConfig` (one standby), or pass an
+        ``HAConfig``.  ``platform.manager`` then *is* the
+        :class:`~repro.controlplane.ReplicatedResourceManager` — every
+        downstream consumer (clients, capacity plane, injector,
+        durable memory) rides the replicated front door, and
+        ``manager_crash`` / ``manager_partition`` fault events find it.
+        Its heartbeat/failure-detector loop is started immediately; call
+        ``platform.ha.stop()`` before draining the event queue with an
+        open-ended ``run()``.
         """
         spec = cluster_spec if cluster_spec is not None else ClusterSpec()
         env = Environment()
@@ -215,6 +230,18 @@ class Platform:
             env, cluster, loads=loads, drc=drc,
             rng=np.random.default_rng(seed + 1),
         )
+        controlplane = None
+        if ha is not None:
+            if ha is True:
+                ha_config = HAConfig()
+            elif isinstance(ha, HAConfig):
+                ha_config = ha
+            else:
+                raise TypeError("ha must be None, True, or an HAConfig")
+            controlplane = ReplicatedResourceManager(env, manager, config=ha_config)
+            controlplane.start()
+            # Everything downstream uses the replicated front door.
+            manager = controlplane
         functions = FunctionRegistry()
         durable = None
         if durable_memory is not None:
@@ -260,6 +287,7 @@ class Platform:
             manager=manager, functions=functions, spec=spec, seed=seed,
             injector=injector, cloud_config=cloud_config,
             durable_memory=durable, gpuservice=gpuservice,
+            controlplane=controlplane,
         )
         if build_cloud:
             platform.cloud  # noqa: B018 - force eager construction
@@ -301,6 +329,16 @@ class Platform:
                 "(or a GpuServiceConfig) to build()"
             )
         return self.gpuservice
+
+    @property
+    def ha(self) -> ReplicatedResourceManager:
+        """The replicated control plane (requires ``ha=`` at build time)."""
+        if self.controlplane is None:
+            raise RuntimeError(
+                "platform was built without a replicated control plane; "
+                "pass ha=True (or an HAConfig) to build()"
+            )
+        return self.controlplane
 
     @property
     def controller(self) -> Optional[DisaggregationController]:

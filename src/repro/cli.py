@@ -13,6 +13,8 @@ Usage::
     python -m repro autoscale --no-crash --window 30
     python -m repro chaos --memservice
     python -m repro memdurability --factors 1,2,3 --json memdurability.json
+    python -m repro managerha --standbys 0,1,2 --jobs 3
+    python -m repro certify --budget 5 --standbys 1
     python -m repro sweep list
     python -m repro sweep chaos --jobs 8 --set "rates=(0, 8, 16)"
 
@@ -54,11 +56,12 @@ from .experiments import (
     fig12_gpu_sharing,
     fig13_offloading,
     gpu_scaling_sweep,
+    manager_failover_sweep,
     memdurability_sweep,
     tab03_idle_node,
 )
 from .experiments.base import get_sweep
-from .faults import FaultPlan
+from .faults import FaultPlan, certify
 from .sweep import SweepScenarioError, run_sweep, sweep_names
 from .telemetry import (
     MetricsRegistry,
@@ -95,6 +98,7 @@ EXPERIMENTS: dict[str, tuple[Any, str]] = {
     "autoscale": (autoscale_sweep, "predictive vs reactive warm pools under load"),
     "memdurability": (memdurability_sweep, "replicated memory service under a crash+drain storm"),
     "gpu_scaling": (gpu_scaling_sweep, "GPU invocation batching: batch size vs throughput/latency"),
+    "manager_failover": (manager_failover_sweep, "completion through manager crash/partition, by standby count"),
 }
 
 
@@ -385,6 +389,49 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         "--json", metavar="FILE", default=None, dest="json_out",
         help="write the machine-readable sweep result as JSON",
     )
+    managerha_parser = sub.add_parser(
+        "managerha",
+        help="control-plane HA sweep: completion through manager crash/partition",
+    )
+    managerha_parser.add_argument(
+        "--standbys", default=None, metavar="K1,K2,...",
+        help="comma-separated standby counts (default 0,1,2)",
+    )
+    managerha_parser.add_argument("--seed", type=int, default=0)
+    managerha_parser.add_argument(
+        "--window", type=float, default=20.0, metavar="SECONDS",
+        help="simulated measurement window per standby count",
+    )
+    managerha_parser.add_argument(
+        "--json", metavar="FILE", default=None, dest="json_out",
+        help="write the machine-readable sweep result as JSON",
+    )
+    certify_parser = sub.add_parser(
+        "certify",
+        help="chaos certification: control-plane invariants under randomized "
+             "fault schedules",
+    )
+    certify_parser.add_argument(
+        "--budget", type=int, default=5, metavar="N",
+        help="randomized schedules to run (default 5)",
+    )
+    certify_parser.add_argument("--seed", type=int, default=0)
+    certify_parser.add_argument(
+        "--standbys", type=int, default=1, metavar="K",
+        help="control-plane standby replicas (default 1)",
+    )
+    certify_parser.add_argument(
+        "--window", type=float, default=8.0, metavar="SECONDS",
+        help="simulated window per schedule",
+    )
+    certify_parser.add_argument(
+        "--events", type=int, default=6, metavar="N",
+        help="fault events drawn per schedule",
+    )
+    certify_parser.add_argument(
+        "--json", metavar="FILE", default=None, dest="json_out",
+        help="write the machine-readable certification report as JSON",
+    )
     generic_sweep_parser = sub.add_parser(
         "sweep",
         help="run any registered sweep ('sweep list' shows them) across a pool",
@@ -399,7 +446,7 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
     )
     generic_sweep_parser.add_argument("--seed", type=int, default=0)
     for sweep_parser in (chaos_parser, autoscale_parser, memdur_parser,
-                         generic_sweep_parser):
+                         managerha_parser, generic_sweep_parser):
         sweep_parser.add_argument(
             "--jobs", type=int, default=1, metavar="N",
             help="worker processes to fan scenarios across (default 1; "
@@ -515,6 +562,33 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
             except ValueError:
                 parser.error(f"--factors expects comma-separated integers, got {args.factors!r}")
         return _run_sweep_command("memdurability", kwargs, args, parser, out)
+
+    if args.command == "managerha":
+        kwargs = {"seed": args.seed, "window_s": args.window}
+        if args.standbys:
+            try:
+                kwargs["standbys"] = tuple(int(k) for k in args.standbys.split(","))
+            except ValueError:
+                parser.error(f"--standbys expects comma-separated integers, got {args.standbys!r}")
+        return _run_sweep_command("manager_failover", kwargs, args, parser, out)
+
+    if args.command == "certify":
+        if args.budget < 1:
+            parser.error("--budget must be >= 1")
+        t0 = time.perf_counter()
+        report = certify(budget=args.budget, seed=args.seed,
+                         standbys=args.standbys, window_s=args.window,
+                         events_per_schedule=args.events)
+        out(report.format_report())
+        out(f"[certify completed in {time.perf_counter() - t0:.2f}s]\n")
+        if args.json_out:
+            try:
+                with open(args.json_out, "w", encoding="utf-8") as fh:
+                    fh.write(report.to_json() + "\n")
+            except OSError as exc:
+                parser.error(f"cannot write JSON output: {exc}")
+            out(f"[json -> {args.json_out}]")
+        return 0 if report.ok else 1
 
     if args.command == "autoscale":
         kwargs = {"seed": args.seed, "window_s": args.window}

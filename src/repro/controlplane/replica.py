@@ -1,0 +1,97 @@
+"""Replica state for the replicated resource manager.
+
+A :class:`ManagerReplica` is one member of the control-plane group: it
+holds a *materialized* copy of the lease/registration state, rebuilt
+purely by applying :class:`LogRecord` entries in index order.  The
+primary materializes its state from the same records it ships to the
+standbys, so "what a standby would know after takeover" is never a
+guess — it is exactly ``registrations`` + ``lease_records`` here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ReplicaRole", "LogRecord", "ManagerReplica"]
+
+
+class ReplicaRole(enum.Enum):
+    """Where a replica stands in the current epoch."""
+
+    PRIMARY = "primary"    # serves all front-door mutations
+    STANDBY = "standby"    # applies the primary's log, ready to take over
+    DOWN = "down"          # crashed; holds no state until it rejoins
+    FENCED = "fenced"      # ex-primary expelled by a takeover; must resync
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One fenced, replicated control-plane mutation.
+
+    ``op`` is one of ``register`` / ``remove`` / ``grant`` / ``revoke``
+    / ``release``; ``payload`` carries the op-specific fields (node
+    name, lease id, sizes).  Records are totally ordered by ``index``
+    and stamped with the ``epoch`` they were committed under — the
+    certification invariants (:mod:`repro.faults.certify`) replay this
+    log to prove no double-grant and epoch monotonicity.
+    """
+
+    index: int
+    epoch: int
+    op: str
+    at_s: float
+    payload: dict[str, Any]
+
+
+@dataclass
+class ManagerReplica:
+    """One member of the replicated resource-manager group."""
+
+    rank: int
+    role: ReplicaRole = ReplicaRole.STANDBY
+    epoch: int = 0
+    applied_index: int = 0
+    #: node_name -> register_node kwargs (enough to recreate the pool).
+    registrations: dict[str, dict] = field(default_factory=dict)
+    #: lease_id -> grant payload for leases this replica believes live.
+    lease_records: dict[int, dict] = field(default_factory=dict)
+    #: sim time of the last heartbeat received from the primary.
+    last_heartbeat_s: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"rm-{self.rank}"
+
+    @property
+    def live(self) -> bool:
+        return self.role in (ReplicaRole.PRIMARY, ReplicaRole.STANDBY)
+
+    def apply(self, record: LogRecord) -> None:
+        """Materialize one log record into this replica's state."""
+        payload = record.payload
+        if record.op == "register":
+            self.registrations[payload["node"]] = dict(payload["registration"])
+        elif record.op == "remove":
+            self.registrations.pop(payload["node"], None)
+            # Leases die with their node: drop the records too.
+            dead = [lid for lid, rec in self.lease_records.items()
+                    if rec["node"] == payload["node"]]
+            for lid in dead:
+                del self.lease_records[lid]
+        elif record.op == "grant":
+            self.lease_records[payload["lease_id"]] = dict(payload)
+        elif record.op in ("revoke", "release"):
+            self.lease_records.pop(payload["lease_id"], None)
+        else:
+            raise ValueError(f"unknown log op {record.op!r}")
+        self.applied_index = record.index
+        self.epoch = record.epoch
+
+    def resync_from(self, source: "ManagerReplica") -> None:
+        """Full state transfer from ``source`` (join / heal / step-down)."""
+        self.registrations = {k: dict(v) for k, v in source.registrations.items()}
+        self.lease_records = {k: dict(v) for k, v in source.lease_records.items()}
+        self.applied_index = source.applied_index
+        self.epoch = source.epoch

@@ -11,10 +11,26 @@ Two halves, one subsystem:
   :class:`DegradedResult` / :class:`RecoveryOutcome` (how an
   invocation actually concluded).
 
-This package never imports ``repro.rfaas.client`` (the client imports
-*us*); it depends only on the error taxonomy and message types.
+Plus **certification** — :func:`certify` runs seeded *randomized*
+schedules over the whole taxonomy and checks control-plane invariants
+(no silent drops, no double grants, single primary per epoch,
+monotone epochs) on every run; see ``repro certify``.
+
+This package never imports ``repro.rfaas.client`` at import time (the
+client imports *us*); the certification harness builds a full
+platform lazily inside :func:`certify`.
 """
 
+from .certify import (
+    CertifyReport,
+    certify,
+    check_conservation,
+    check_epoch_monotonic,
+    check_no_double_grant,
+    check_single_primary,
+    random_plan,
+    run_invariants,
+)
 from .injector import Injector
 from .plan import FaultEvent, FaultKind, FaultPlan
 from .recovery import DegradedResult, RecoveryOutcome, RetryPolicy
@@ -27,4 +43,12 @@ __all__ = [
     "RetryPolicy",
     "RecoveryOutcome",
     "DegradedResult",
+    "CertifyReport",
+    "certify",
+    "check_conservation",
+    "check_epoch_monotonic",
+    "check_no_double_grant",
+    "check_single_primary",
+    "random_plan",
+    "run_invariants",
 ]

@@ -28,6 +28,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rfaas.errors import ManagerUnavailableError
 from ..sim.engine import Environment, Process
 from ..telemetry import telemetry_of
 from .plan import FaultEvent, FaultKind, FaultPlan
@@ -48,6 +49,7 @@ class Injector:
         seed: int = 0,
         memservice=None,              # ReplicatedMemoryService, for memservice faults
         gpuservice=None,              # GpuService, for gpu_device_loss faults
+        controlplane=None,            # ReplicatedResourceManager, for manager faults
     ):
         self.env = env
         self.plan = plan
@@ -55,6 +57,11 @@ class Injector:
         self.fabric = fabric
         self.memservice = memservice
         self.gpuservice = gpuservice
+        # When the manager handed in *is* the replicated control plane,
+        # the manager fault kinds target it directly.
+        if controlplane is None and hasattr(manager, "crash_primary"):
+            controlplane = manager
+        self.controlplane = controlplane
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self._process: Optional[Process] = None
         #: (time, kind, target) triples of faults actually applied.
@@ -135,8 +142,16 @@ class Injector:
             FaultKind.WARMPOOL_PRESSURE: self._apply_warmpool_pressure,
             FaultKind.MEMSERVICE_KILL: self._apply_memservice_kill,
             FaultKind.GPU_DEVICE_LOSS: self._apply_gpu_device_loss,
+            FaultKind.MANAGER_CRASH: self._apply_manager_crash,
+            FaultKind.MANAGER_PARTITION: self._apply_manager_partition,
         }[event.kind]
-        handler(event)
+        try:
+            handler(event)
+        except ManagerUnavailableError:
+            # The event needed the control plane mid-outage (e.g. a
+            # lease storm while the primary is down): deterministic
+            # skip — the manager could not have served it either way.
+            self.skipped.append(event)
 
     def _apply_node_crash(self, event: FaultEvent) -> None:
         node = self._pick_node(event)
@@ -303,3 +318,31 @@ class Injector:
         if restored:
             self._tracer.instant("fault.gpu_node_restored", track="faults",
                                  node=node, devices=restored)
+
+    def _apply_manager_crash(self, event: FaultEvent) -> None:
+        """Kill the control plane's current primary replica.
+
+        The victim is always whoever leads *at injection time* — no
+        seeded pick, since a replicated manager has exactly one primary
+        (``event.node`` is unused).  Skipped when the platform runs a
+        bare unreplicated manager, or no primary is up to kill.
+        """
+        if self.controlplane is None:
+            self.skipped.append(event)
+            return
+        victim = self.controlplane.crash_primary(outage_s=event.duration_s)
+        if victim is None:
+            self.skipped.append(event)
+            return
+        self._note(event, victim, duration=event.duration_s)
+
+    def _apply_manager_partition(self, event: FaultEvent) -> None:
+        """Cut the current primary off from clients and standbys."""
+        if self.controlplane is None:
+            self.skipped.append(event)
+            return
+        victim = self.controlplane.partition_primary(heal_after_s=event.duration_s)
+        if victim is None:
+            self.skipped.append(event)
+            return
+        self._note(event, victim, duration=event.duration_s)

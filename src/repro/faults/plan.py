@@ -38,6 +38,15 @@ kind                  meaning
                       in-flight batched invocations replay on surviving
                       devices; with ``duration_s`` > 0 the devices come back
                       *cold* (warm data gone) once the node heals
+``manager_crash``     the control plane's primary resource manager dies; a
+                      standby takes over after the failure detector's timeout
+                      (``repro.controlplane``); with zero standbys all
+                      control-plane state — and every outstanding lease — is
+                      lost; ``duration_s`` > 0 restarts the crashed replica
+``manager_partition`` the primary is cut off from clients *and* standbys: a
+                      standby takes over behind the partition and the fenced
+                      ex-primary steps down when the partition heals after
+                      ``duration_s`` (no split brain)
 ===================== =========================================================
 """
 
@@ -61,6 +70,8 @@ class FaultKind:
     WARMPOOL_PRESSURE = "warmpool_pressure"
     MEMSERVICE_KILL = "memservice_kill"
     GPU_DEVICE_LOSS = "gpu_device_loss"
+    MANAGER_CRASH = "manager_crash"
+    MANAGER_PARTITION = "manager_partition"
 
     ALL = (
         NODE_CRASH,
@@ -71,6 +82,8 @@ class FaultKind:
         WARMPOOL_PRESSURE,
         MEMSERVICE_KILL,
         GPU_DEVICE_LOSS,
+        MANAGER_CRASH,
+        MANAGER_PARTITION,
     )
 
 
@@ -189,6 +202,19 @@ class FaultPlan:
     def gpu_device_loss(self, at_s: float, node: Optional[str] = None,
                         duration_s: float = 0.0) -> "FaultPlan":
         return self.add(FaultEvent(FaultKind.GPU_DEVICE_LOSS, at_s, node=node,
+                                   duration_s=duration_s))
+
+    def manager_crash(self, at_s: float, duration_s: float = 0.0) -> "FaultPlan":
+        """Kill the control plane's current primary (``node`` is unused:
+        the victim is always whoever leads at injection time); with
+        ``duration_s`` > 0 the replica restarts and rejoins."""
+        return self.add(FaultEvent(FaultKind.MANAGER_CRASH, at_s,
+                                   duration_s=duration_s))
+
+    def manager_partition(self, at_s: float, duration_s: float = 0.0) -> "FaultPlan":
+        """Cut the current primary off from clients and standbys; the
+        partition heals after ``duration_s`` (0 = never)."""
+        return self.add(FaultEvent(FaultKind.MANAGER_PARTITION, at_s,
                                    duration_s=duration_s))
 
     def shifted(self, offset_s: float) -> "FaultPlan":

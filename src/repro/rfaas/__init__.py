@@ -7,9 +7,11 @@ from .errors import (
     GpuLeaseRevokedError,
     InvocationTimeout,
     LeaseRevokedError,
+    ManagerUnavailableError,
     MemoryServiceUnavailable,
     NoCapacityError,
     RFaaSError,
+    StaleEpochError,
     TerminationError,
 )
 from .executor import Executor, ExecutorMode
@@ -29,6 +31,8 @@ __all__ = [
     "GpuLeaseRevokedError",
     "InvocationTimeout",
     "AdmissionRejected",
+    "ManagerUnavailableError",
+    "StaleEpochError",
     "MemoryServiceUnavailable",
     "DataLossError",
     "Lease",

@@ -31,6 +31,7 @@ from ..telemetry.span import SpanKind
 from .errors import (
     InvocationTimeout,
     LeaseRevokedError,
+    ManagerUnavailableError,
     NoCapacityError,
     RFaaSError,
     TerminationError,
@@ -362,6 +363,18 @@ class RFaaSClient:
                     self.redirects += 1
                     attempt_span.set(outcome="revoked")
                     self._note_retry("revoked", err.node_name, attempts)
+                    if self._closed:
+                        break
+                    continue
+                except ManagerUnavailableError as err:
+                    # The control plane has no reachable primary right
+                    # now; a standby takeover is coming, so back off and
+                    # reconnect to whichever replica leads next attempt.
+                    last_error = err
+                    if first_failure is None:
+                        first_failure = self.env.now
+                    attempt_span.set(outcome="manager_down")
+                    self._note_retry("manager_down", None, attempts)
                     if self._closed:
                         break
                     continue

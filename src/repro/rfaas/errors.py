@@ -21,6 +21,18 @@ Every failure the platform reports to user code derives from
     ├── AdmissionRejected     the capacity plane's admission gate said
     │                         no before any resources were touched
     │                         (carries ``reason`` + ``tenant``)
+    ├── ManagerUnavailableError
+    │                         the resource manager has no reachable
+    │                         primary replica (it crashed, or the
+    │                         client's side of a partition): no lease
+    │                         can be granted *right now*, but a standby
+    │                         takeover is coming — retryable with
+    │                         backoff (carries ``epoch`` + ``cause``)
+    ├── StaleEpochError       a fenced ex-primary tried to mutate
+    │                         control-plane state after a failover
+    │                         bumped the epoch past it; the operation
+    │                         was rejected before touching anything
+    │                         (carries ``epoch`` + ``current_epoch``)
     ├── MemoryServiceUnavailable
     │                         a memory-service buffer (or a replica
     │                         quorum) is gone: reclaimed, crashed, or
@@ -55,6 +67,8 @@ __all__ = [
     "GpuLeaseRevokedError",
     "InvocationTimeout",
     "AdmissionRejected",
+    "ManagerUnavailableError",
+    "StaleEpochError",
     "MemoryServiceUnavailable",
     "DataLossError",
 ]
@@ -136,6 +150,44 @@ class AdmissionRejected(RFaaSError):
         super().__init__(message)
         self.reason = reason
         self.tenant = tenant
+
+
+class ManagerUnavailableError(RFaaSError):
+    """The resource manager has no reachable primary replica.
+
+    Raised by the replicated control plane (:mod:`repro.controlplane`)
+    when a front-door operation — lease, register, revoke — arrives
+    while the primary is crashed or on the wrong side of a partition
+    and no standby has taken over yet.  The condition is *transient*
+    by construction: the failure detector elects a standby within its
+    detection timeout (or, with zero standbys, a restarted primary
+    eventually rejoins), so the client library treats this as
+    retryable with backoff.  ``epoch`` snapshots the control-plane
+    epoch at rejection time; ``cause`` says why the primary was out of
+    reach (``"crash"``, ``"partition"``).
+    """
+
+    def __init__(self, message: str, epoch: int = 0, cause: Any = "crash"):
+        super().__init__(message)
+        self.epoch = epoch
+        self.cause = cause
+
+
+class StaleEpochError(RFaaSError):
+    """A fenced ex-primary attempted a mutation after losing its term.
+
+    The split-brain guard of the replicated control plane: every
+    mutation is fenced on the issuing replica's epoch, so an ex-primary
+    that was partitioned away while a standby took over (bumping the
+    epoch) gets its writes rejected *before* any state changes — it can
+    observe, step down, and resync, but never double-grant.  ``epoch``
+    is the stale issuer's term; ``current_epoch`` the cluster's.
+    """
+
+    def __init__(self, message: str, epoch: int = 0, current_epoch: int = 0):
+        super().__init__(message)
+        self.epoch = epoch
+        self.current_epoch = current_epoch
 
 
 class MemoryServiceUnavailable(RFaaSError):

@@ -37,6 +37,11 @@ class Lease:
     # Module-global fallback for bare construction (tests); the manager
     # passes env.next_id("rfaas-lease") so ids are per-environment.
     lease_id: int = field(default_factory=lambda: next(_lease_ids))
+    # Control-plane term the grant was fenced under.  0 = granted by a
+    # bare (unreplicated) ResourceManager; the replicated control plane
+    # (repro.controlplane) stamps its current epoch so takeover
+    # reconciliation can tell surviving grants from stale ones.
+    epoch: int = 0
     state: LeaseState = LeaseState.ACTIVE
     on_cancel: list[Callable[["Lease"], None]] = field(default_factory=list)
 

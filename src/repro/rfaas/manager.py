@@ -202,11 +202,18 @@ class ResourceManager:
 
         return self.env.process(run(), name=f"migrate-{src_node}->{dst_node}")
 
-    def remove_node(self, node_name: str, immediate: bool = False) -> None:
-        """Batch manager retrieves the node's resources (Sec. IV-E)."""
+    def remove_node(self, node_name: str, immediate: bool = False) -> bool:
+        """Batch manager retrieves the node's resources (Sec. IV-E).
+
+        Idempotent: removing a node that is not (or no longer)
+        registered is a no-op returning ``False`` — fault injection and
+        failover reconciliation race against each other for the same
+        victims, and the second remover must not blow up.  Returns
+        ``True`` when this call actually removed the node.
+        """
         registered = self._nodes.get(node_name)
         if registered is None:
-            raise KeyError(f"node {node_name!r} not registered")
+            return False
         registered.executor.drain(immediate=immediate)
         for lease, _ in list(registered.leases.values()):
             lease.cancel()
@@ -224,6 +231,7 @@ class ResourceManager:
         # instant to start evacuating hosted state.
         for hook in self.on_remove_node:
             hook(node_name, immediate)
+        return True
 
     def registered_nodes(self) -> list[str]:
         return sorted(self._nodes)
@@ -324,14 +332,21 @@ class ResourceManager:
                 out.append((entry[0], node_name))
         return out
 
-    def revoke_lease(self, lease: Lease, reason: str = "revoked") -> None:
+    def revoke_lease(self, lease: Lease, reason: str = "revoked") -> bool:
         """Platform-side cancellation of a single lease (Sec. III-A).
 
         Unlike :meth:`remove_node` the executor stays registered:
         in-flight invocations finish, but the client library is notified
         to redirect further requests to a new lease.
+
+        Idempotent: revoking a lease that is already cancelled/released
+        *and* fully unlinked from the pool is a no-op returning
+        ``False`` (no double-counted metrics, no duplicate log events).
+        Returns ``True`` when this call revoked or unlinked something.
         """
         node_name = self._lease_owner.get(lease.lease_id)
+        if not lease.active and node_name is None:
+            return False
         lease.cancel()
         self._m_revoked.inc()
         self.log.emit(self.env.now, "revoke_lease", lease_id=lease.lease_id,
@@ -341,10 +356,11 @@ class ResourceManager:
             lease_id=lease.lease_id, reason=reason,
         )
         if node_name is None:
-            return
+            return True
         registered = self._nodes.get(node_name)
         if registered is not None:
             self._release(registered, lease)
+        return True
 
     def release_lease(self, lease: Lease) -> None:
         """Client returns a lease voluntarily."""

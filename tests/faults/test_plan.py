@@ -17,12 +17,14 @@ def sample_plan():
         .warmpool_pressure(at_s=15.0, fraction=0.5, swap=False)
         .memservice_kill(at_s=16.0, node="n0003")
         .gpu_device_loss(at_s=17.0, node="n0004", duration_s=5.0)
+        .manager_crash(at_s=18.0, duration_s=4.0)
+        .manager_partition(at_s=19.0, duration_s=2.0)
     )
 
 
 def test_fluent_builders_cover_the_taxonomy():
     plan = sample_plan()
-    assert len(plan) == 8
+    assert len(plan) == 10
     assert [ev.kind for ev in plan] == list(FaultKind.ALL)
     assert not plan.empty
     assert FaultPlan().empty
@@ -43,7 +45,7 @@ def test_shifted_delays_every_event_and_copies():
     plan = sample_plan()
     shifted = plan.shifted(10.0)
     assert [ev.at_s for ev in shifted] == [ev.at_s + 10.0 for ev in plan]
-    assert [ev.at_s for ev in plan] == [5.0, 8.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0]  # untouched
+    assert [ev.at_s for ev in plan] == [5.0, 8.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0, 19.0]  # untouched
     assert shifted.name == plan.name
 
 

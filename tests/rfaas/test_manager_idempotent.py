@@ -1,0 +1,61 @@
+"""Idempotent manager mutations: remove/revoke are safe to repeat.
+
+Failover reconciliation and fault injection both re-drive mutations
+whose first delivery may or may not have landed (a takeover replays
+the replicated view against the data plane; an injector's crash event
+can race a voluntary drain).  ``remove_node`` and ``revoke_lease``
+therefore report *whether they did anything* instead of raising on a
+repeat — the boolean is what keeps the fenced commit log free of
+no-op records.
+"""
+
+from .conftest import Harness
+
+
+def build_harness():
+    harness = Harness()
+    for name in ("n0001", "n0002", "n0003"):
+        harness.register_node(name)
+    harness.register_function()
+    return harness
+
+
+def test_remove_node_returns_true_then_false():
+    harness = build_harness()
+    assert harness.manager.remove_node("n0001") is True
+    assert harness.manager.remove_node("n0001") is False  # already gone
+    assert harness.manager.remove_node("n0001", immediate=True) is False
+
+
+def test_remove_node_of_never_registered_node_is_false():
+    harness = build_harness()
+    assert harness.manager.remove_node("n9999") is False
+    assert harness.manager.remove_node("") is False
+
+
+def test_revoke_lease_returns_true_then_false():
+    harness = build_harness()
+    lease, _executor = harness.manager.lease("client-0", cores=1)
+    assert harness.manager.revoke_lease(lease) is True
+    assert harness.manager.revoke_lease(lease) is False  # already dead
+    assert harness.manager.revoke_lease(lease, reason="again") is False
+
+
+def test_revoke_after_release_is_false_and_frees_nothing_twice():
+    harness = build_harness()
+    free_before = harness.manager.total_free_cores()
+    lease, _executor = harness.manager.lease("client-0", cores=2)
+    harness.manager.release_lease(lease)
+    assert harness.manager.total_free_cores() == free_before
+    assert harness.manager.revoke_lease(lease) is False
+    assert harness.manager.total_free_cores() == free_before  # no double-free
+
+
+def test_remove_node_revokes_its_leases_once():
+    harness = build_harness()
+    lease, _executor = harness.manager.lease("client-0", cores=1)
+    node = lease.node_name
+    assert harness.manager.remove_node(node, immediate=True) is True
+    assert not lease.active
+    assert harness.manager.revoke_lease(lease) is False
+    assert harness.manager.remove_node(node) is False

@@ -206,8 +206,8 @@ def test_register_node_validation(harness):
     node.allocate("job", cores=36)
     with pytest.raises(AllocationError):
         harness.register_node("n0002", cores=1)
-    with pytest.raises(KeyError):
-        harness.manager.remove_node("n0003")
+    # Removing an unregistered node is an idempotent no-op.
+    assert harness.manager.remove_node("n0003") is False
 
 
 def test_lease_prefers_warm_node(harness):

@@ -22,6 +22,7 @@ SWEEP_ARGS = {
                       "--accesses", "40", "--window", "5"],
     "gpu_scaling": ["sweep", "gpu_scaling", "--set", "batch_sizes=(1, 4, 16)",
                     "--set", "requests=512"],
+    "manager_failover": ["managerha", "--standbys", "0,1", "--window", "8"],
 }
 
 

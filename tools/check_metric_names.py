@@ -27,6 +27,7 @@ SRC_ROOT = REPO_ROOT / "src" / "repro"
 #: Subsystem namespaces metrics may live in (``repro_<subsystem>_...``).
 KNOWN_SUBSYSTEMS = frozenset({
     "capacity",    # capacity control plane: forecast/autoscale/admit/burst
+    "controlplane",  # replicated manager: heartbeats/failover/fencing
     "executor",
     "faults",
     "gpu",         # GPU control plane: leases/batching/warm pools/replay

@@ -28,9 +28,9 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 MANIFEST_PATH = REPO_ROOT / "tools" / "public_api.json"
 
 #: Modules whose exported surface is under contract.
-MODULES = ("repro.api", "repro.capacity", "repro.experiments.base",
-           "repro.faults", "repro.gpuservice", "repro.memservice",
-           "repro.rfaas", "repro.sweep")
+MODULES = ("repro.api", "repro.capacity", "repro.controlplane",
+           "repro.experiments.base", "repro.faults", "repro.gpuservice",
+           "repro.memservice", "repro.rfaas", "repro.sweep")
 
 
 def _signature_of(obj) -> str:

@@ -39,15 +39,20 @@ BENCHES: dict[str, tuple[str, pathlib.Path]] = {
     "obs": ("bench_obs", REPO_ROOT / "BENCH_obs.json"),
     "sweep": ("bench_sweep", REPO_ROOT / "BENCH_sweep.json"),
     "gpu": ("bench_gpu", REPO_ROOT / "BENCH_gpu.json"),
+    "managerha": ("bench_managerha", REPO_ROOT / "BENCH_managerha.json"),
 }
 
-#: Throughput metrics gate on a floor (value must not drop); everything
-#: else is wall time and gates on a ceiling.
-HIGHER_IS_BETTER = {"events_per_s", "scenarios_per_min", "requests_per_s"}
+#: Floor metrics gate on "must not drop" (throughput, completion);
+#: everything else (wall time, tail latency) gates on a ceiling.
+HIGHER_IS_BETTER = {"events_per_s", "scenarios_per_min", "requests_per_s",
+                    "completion_ratio"}
 
-#: Display/rounding unit per throughput metric.
+#: Display/rounding unit per floor metric.
 _UNITS = {"events_per_s": "events/s", "scenarios_per_min": "scenarios/min",
-          "requests_per_s": "requests/s"}
+          "requests_per_s": "requests/s", "completion_ratio": "completed/issued"}
+
+#: Display unit per ceiling metric (default: seconds of wall clock).
+_CEILING_UNITS = {"wall_s": "s wall", "latency_ms": "ms latency"}
 
 # Make both the package under src/ and the benchmarks directory
 # importable regardless of how this script is invoked.
@@ -64,6 +69,11 @@ def write_baseline(baseline: dict, path: pathlib.Path = BASELINE_PATH) -> None:
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(baseline, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def _fmt(value: float) -> str:
+    """Small floor metrics (ratios) keep decimals; big ones group digits."""
+    return f"{value:,.0f}" if value >= 100 else f"{value:.4f}"
 
 
 def compare(baseline: dict, measurements: dict[str, dict]) -> list[str]:
@@ -93,15 +103,16 @@ def compare(baseline: dict, measurements: dict[str, dict]) -> list[str]:
             if value < floor:
                 unit = _UNITS.get(metric, metric)
                 problems.append(
-                    f"{name}: {value:,.0f} {unit} is below the tolerance floor "
-                    f"{floor:,.0f} (baseline {after:,.0f}, tol {tol:.0%})"
+                    f"{name}: {_fmt(value)} {unit} is below the tolerance floor "
+                    f"{_fmt(floor)} (baseline {_fmt(after)}, tol {tol:.0%})"
                 )
         else:
             ceiling = after * (1.0 + tol)
             if value > ceiling:
+                unit = _CEILING_UNITS.get(metric, metric)
                 problems.append(
-                    f"{name}: {value:.4f}s wall exceeds the tolerance ceiling "
-                    f"{ceiling:.4f}s (baseline {after:.4f}s, tol {tol:.0%})"
+                    f"{name}: {value:.4f} {unit} exceeds the tolerance ceiling "
+                    f"{ceiling:.4f} (baseline {after:.4f}, tol {tol:.0%})"
                 )
     return problems
 
@@ -110,17 +121,18 @@ def _format_row(name: str, recorded: dict, measured: dict) -> str:
     metric = recorded["metric"]
     before = float(recorded.get("before", recorded["after"]))
     speedup = float(recorded.get("speedup", 1.0))
+    note = " [modeled]" if measured.get("modeled") else ""
     if metric in HIGHER_IS_BETTER:
         unit = _UNITS.get(metric, metric)
-        note = " [modeled]" if measured.get("modeled") else ""
         return (
-            f"  {name:<16} {measured['value']:>12,.0f} {unit}{note}"
-            f"  (baseline {float(recorded['after']):,.0f},"
-            f" pre-optimization {before:,.0f},"
+            f"  {name:<16} {_fmt(float(measured['value'])):>12} {unit}{note}"
+            f"  (baseline {_fmt(float(recorded['after']))},"
+            f" pre-optimization {_fmt(before)},"
             f" recorded speedup {speedup:.2f}x)"
         )
+    unit = _CEILING_UNITS.get(metric, metric)
     return (
-        f"  {name:<16} {measured['value']:>12.4f} s wall"
+        f"  {name:<16} {measured['value']:>12.4f} {unit}{note}"
         f"  (baseline {float(recorded['after']):.4f},"
         f" pre-optimization {before:.4f},"
         f" recorded speedup {speedup:.2f}x)"
@@ -145,7 +157,8 @@ def _run_suite(suite: str, args: argparse.Namespace) -> list[str]:
     if args.update:
         for name, measured in measurements.items():
             recorded = baseline["scenarios"].setdefault(name, {"metric": measured["metric"]})
-            recorded["after"] = round(measured["value"], 4 if measured["metric"] == "wall_s" else 0)
+            digits = 0 if measured["metric"] in _UNITS and measured["value"] >= 100 else 4
+            recorded["after"] = round(measured["value"], digits)
             before = float(recorded.get("before", measured["value"]))
             recorded.setdefault("before", before)
             if measured["metric"] in HIGHER_IS_BETTER:
