@@ -1,21 +1,40 @@
 """Capacity control plane: reactive vs predictive warm pools under load.
 
 Runs the :mod:`repro.experiments.autoscale_sweep` schedule (with its
-default node-crash storm) at 1x/4x/16x load and records, per load, the
-warm-pool hit rate and p99 latency of the reactive baseline against the
-predictive autoscaler.  Besides the printed table, the comparison is
-written to ``BENCH_autoscale.json`` at the repo root so regressions in
-the predictive advantage are machine-checkable.
+default node-crash storm) and gates the predictive autoscaler's
+advantage through ``tools/perfgate.py --bench autoscale`` against the
+committed ``BENCH_autoscale.json``:
+
+* ``autoscale_warm_rate`` — **simulated** predictive warm-start rate at
+  16x load (metric ``completion_ratio``, floor, tight tolerance).  The
+  recorded "before" is the reactive baseline at the same load, so
+  "speedup" records what the forecaster buys.
+* ``autoscale_p99`` — **simulated** predictive p99 at 16x load (metric
+  ``latency_ms``, ceiling).
+* ``autoscale_sweep_wall`` — wall clock of a reduced sweep through the
+  serial path (metric ``wall_s``, loose tolerance).
+
+The pytest entry point still prints the per-load comparison table and
+asserts the acceptance bar (predictive beats reactive on warm-start
+rate once load reaches 4x).
 """
 
-import json
-from pathlib import Path
+from __future__ import annotations
+
+import time
 
 from repro.analysis import render_table
 from repro.experiments import autoscale_sweep
 
-OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_autoscale.json"
+DEFAULT_REPEATS = 3
+
 LOADS = (1.0, 4.0, 16.0)
+
+#: Load multiplier for the single-point scenarios.
+BENCH_LOAD = 16.0
+
+#: Reduced sweep for the wall-clock scenario.
+WALL_LOADS = (1.0, 4.0)
 
 
 def _by_mode(result):
@@ -25,32 +44,70 @@ def _by_mode(result):
     return pairs
 
 
+def _simulated_pair(load: float):
+    """(reactive, predictive) points for one load multiplier."""
+    result = autoscale_sweep.run(loads=(load,), seed=0)
+    modes = _by_mode(result)[load]
+    return modes["reactive"], modes["predictive"]
+
+
+def measure_warm_rate(repeats: int = DEFAULT_REPEATS) -> dict:
+    del repeats  # deterministic simulated time: repeats cannot change it
+    _, predictive = _simulated_pair(BENCH_LOAD)
+    return {
+        "metric": "completion_ratio",
+        "value": predictive.warm_start_rate,
+        "modeled": True,
+    }
+
+
+def measure_p99(repeats: int = DEFAULT_REPEATS) -> dict:
+    del repeats
+    _, predictive = _simulated_pair(BENCH_LOAD)
+    return {
+        "metric": "latency_ms",
+        "value": predictive.p99_ms,
+        "modeled": True,
+    }
+
+
+def measure_sweep_wall(repeats: int = DEFAULT_REPEATS) -> dict:
+    best = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        autoscale_sweep.run(loads=WALL_LOADS, seed=0)
+        wall = time.perf_counter() - start
+        if best is None or wall < best:
+            best = wall
+    return {
+        "metric": "wall_s",
+        "value": best,
+        "scenarios": len(WALL_LOADS),
+    }
+
+
+#: name -> callable(repeats) -> {"metric", "value", ...}; keys match
+#: BENCH_autoscale.json's "scenarios" table.
+SCENARIOS = {
+    "autoscale_warm_rate": measure_warm_rate,
+    "autoscale_p99": measure_p99,
+    "autoscale_sweep_wall": measure_sweep_wall,
+}
+
+
+def measure_all(repeats: int = DEFAULT_REPEATS) -> dict[str, dict]:
+    return {name: fn(repeats) for name, fn in SCENARIOS.items()}
+
+
 def test_autoscale_predictive_vs_reactive(benchmark, report):
     result = benchmark.pedantic(
         lambda: autoscale_sweep.run(loads=LOADS, seed=0),
         rounds=1, iterations=1,
     )
     pairs = _by_mode(result)
-    comparison = []
     rows = []
     for load in LOADS:
         reactive, predictive = pairs[load]["reactive"], pairs[load]["predictive"]
-        comparison.append({
-            "load": load,
-            "reactive": {
-                "warm_start_rate": reactive.warm_start_rate,
-                "p99_ms": reactive.p99_ms,
-                "cold_starts": reactive.cold_starts,
-            },
-            "predictive": {
-                "warm_start_rate": predictive.warm_start_rate,
-                "p99_ms": predictive.p99_ms,
-                "cold_starts": predictive.cold_starts,
-                "prewarms": predictive.prewarms,
-            },
-            "warm_rate_gain": round(
-                predictive.warm_start_rate - reactive.warm_start_rate, 6),
-        })
         rows.append([
             f"{load:g}x",
             f"{reactive.warm_start_rate * 100:.1f}%",
@@ -59,20 +116,65 @@ def test_autoscale_predictive_vs_reactive(benchmark, report):
             f"{predictive.p99_ms:.3f}",
             predictive.prewarms,
         ])
-    OUTPUT.write_text(json.dumps({
-        "window_s": result.window_s,
-        "seed": result.seed,
-        "loads": comparison,
-    }, sort_keys=True, indent=2) + "\n", encoding="utf-8")
     report(render_table(
         ["load", "reactive warm", "predictive warm",
          "reactive p99 (ms)", "predictive p99 (ms)", "prewarms"],
         rows,
         title="Warm-pool autoscaling — reactive vs predictive (crash storm)",
-    ) + f"\n[comparison -> {OUTPUT.name}]")
+    ))
     # The acceptance bar: predictive provisioning beats the reactive
     # baseline on warm-start rate once load reaches 4x.
-    for entry in comparison:
-        if entry["load"] >= 4.0:
-            assert (entry["predictive"]["warm_start_rate"]
-                    > entry["reactive"]["warm_start_rate"])
+    for load in LOADS:
+        if load >= 4.0:
+            assert (pairs[load]["predictive"].warm_start_rate
+                    > pairs[load]["reactive"].warm_start_rate)
+
+
+if __name__ == "__main__":
+    # Regenerate BENCH_autoscale.json: "before" rows are the reactive
+    # baseline, so "speedup" records what the forecaster buys.
+    import json
+    import pathlib
+
+    reactive, predictive = _simulated_pair(BENCH_LOAD)
+    wall = measure_sweep_wall()
+    baseline = {
+        "benchmark": "warm-pool autoscaling (predictive vs reactive, crash storm)",
+        "description": "predictive warm-start rate and p99 at 16x load vs the "
+                       "reactive baseline, plus serial autoscale sweep wall clock",
+        "scenarios": {
+            "autoscale_warm_rate": {
+                "metric": "completion_ratio",
+                "after": round(predictive.warm_start_rate, 4),
+                "before": round(reactive.warm_start_rate, 4),
+                "speedup": round(
+                    predictive.warm_start_rate / reactive.warm_start_rate, 2),
+                "modeled": True,
+            },
+            "autoscale_p99": {
+                "metric": "latency_ms",
+                "after": round(predictive.p99_ms, 4),
+                "before": round(reactive.p99_ms, 4),
+                "speedup": round(reactive.p99_ms / predictive.p99_ms, 2),
+                "modeled": True,
+            },
+            "autoscale_sweep_wall": {
+                "metric": "wall_s",
+                "after": round(wall["value"], 4),
+                "before": round(wall["value"], 4),
+                "speedup": 1.0,
+                "scenarios": wall["scenarios"],
+            },
+        },
+        # The simulated rate/latency are deterministic: any drift is a
+        # capacity-plane behaviour change, so gate them tightly.  Wall
+        # time is noisy.
+        "tolerance": {"completion_ratio": 0.02, "latency_ms": 0.1,
+                      "wall_s": 0.5},
+    }
+    path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_autoscale.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    print(json.dumps(baseline["scenarios"], indent=2, sort_keys=True))

@@ -2,21 +2,78 @@
 
 Runs the :mod:`repro.experiments.memdurability_sweep` schedule — the
 same seeded paging trace replayed at k=1/2/3 while a storm crashes,
-drains, kills, and partitions hosting nodes — and records, per factor,
-the access completion ratio and checksum-verified data loss.  Besides
-the printed table, the comparison is written to
-``BENCH_memdurability.json`` at the repo root so regressions in the
-durability guarantee are machine-checkable.
+drains, kills, and partitions hosting nodes — and gates the durability
+guarantee through ``tools/perfgate.py --bench memdurability`` against
+the committed ``BENCH_memdurability.json``:
+
+* ``memdur_completion`` — **simulated** access completion ratio at k=2
+  (metric ``completion_ratio``, floor, tight tolerance: the PR's
+  acceptance bar — replication completes the paging trace through the
+  storm).  The recorded "before" is the unreplicated k=1 ratio, so
+  "speedup" records what the second replica buys.
+* ``memdur_sweep_wall`` — wall clock of a reduced sweep through the
+  serial path (metric ``wall_s``, loose tolerance).
+
+The pytest entry point still prints the per-factor table and asserts
+the acceptance bar (k=1 demonstrably loses data; k>=2 completes >=99 %
+with zero loss).
 """
 
-import json
-from pathlib import Path
+from __future__ import annotations
+
+import time
 
 from repro.analysis import render_table
 from repro.experiments import memdurability_sweep
 
-OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_memdurability.json"
+DEFAULT_REPEATS = 3
+
 FACTORS = (1, 2, 3)
+
+#: Reduced sweep for the wall-clock scenario.
+WALL_FACTORS = (1, 2)
+
+
+def _simulated_points() -> dict:
+    result = memdurability_sweep.run(factors=FACTORS, seed=0)
+    return {p.replication: p for p in result.points}
+
+
+def measure_completion(repeats: int = DEFAULT_REPEATS) -> dict:
+    del repeats  # deterministic simulated time: repeats cannot change it
+    points = _simulated_points()
+    return {
+        "metric": "completion_ratio",
+        "value": points[2].completion_ratio,
+        "modeled": True,
+    }
+
+
+def measure_sweep_wall(repeats: int = DEFAULT_REPEATS) -> dict:
+    best = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        memdurability_sweep.run(factors=WALL_FACTORS, seed=0)
+        wall = time.perf_counter() - start
+        if best is None or wall < best:
+            best = wall
+    return {
+        "metric": "wall_s",
+        "value": best,
+        "scenarios": len(WALL_FACTORS),
+    }
+
+
+#: name -> callable(repeats) -> {"metric", "value", ...}; keys match
+#: BENCH_memdurability.json's "scenarios" table.
+SCENARIOS = {
+    "memdur_completion": measure_completion,
+    "memdur_sweep_wall": measure_sweep_wall,
+}
+
+
+def measure_all(repeats: int = DEFAULT_REPEATS) -> dict[str, dict]:
+    return {name: fn(repeats) for name, fn in SCENARIOS.items()}
 
 
 def test_memdurability_replication_beats_crashes(benchmark, report):
@@ -25,36 +82,20 @@ def test_memdurability_replication_beats_crashes(benchmark, report):
         rounds=1, iterations=1,
     )
     points = {p.replication: p for p in result.points}
-    comparison = []
     rows = []
     for k in FACTORS:
         p = points[k]
-        comparison.append({
-            "replication": k,
-            "completion_ratio": p.completion_ratio,
-            "data_loss_accesses": p.data_loss_accesses,
-            "failovers": p.failovers,
-            "replicas_lost": p.replicas_lost,
-            "migrations": p.migrations,
-            "repairs": p.repairs,
-            "moved_mib": p.moved_mib,
-        })
         rows.append([
             p.label, f"{p.completion_ratio * 100:.1f}%", p.data_loss_accesses,
             p.failovers, p.replicas_lost, p.migrations, p.repairs,
             f"{p.moved_mib:.1f}",
         ])
-    OUTPUT.write_text(json.dumps({
-        "window_s": result.window_s,
-        "seed": result.seed,
-        "factors": comparison,
-    }, sort_keys=True, indent=2) + "\n", encoding="utf-8")
     report(render_table(
         ["factor", "completed", "lost", "failovers", "replicas lost",
          "migrated", "repaired", "moved (MiB)"],
         rows,
         title="Durable memory — replication under a crash+drain storm",
-    ) + f"\n[comparison -> {OUTPUT.name}]")
+    ))
     # The acceptance bar: unreplicated memory demonstrably loses data
     # under the storm, while k >= 2 completes >= 99 % with zero loss.
     assert points[1].data_loss_accesses > 0
@@ -62,3 +103,46 @@ def test_memdurability_replication_beats_crashes(benchmark, report):
         if k >= 2:
             assert points[k].data_loss_accesses == 0
             assert points[k].completion_ratio >= 0.99
+
+
+if __name__ == "__main__":
+    # Regenerate BENCH_memdurability.json: "before" on the completion
+    # row is the unreplicated k=1 ratio, so "speedup" records what the
+    # second replica buys.
+    import json
+    import pathlib
+
+    points = _simulated_points()
+    wall = measure_sweep_wall()
+    baseline = {
+        "benchmark": "durable memory service (replication under a crash+drain storm)",
+        "description": "paging-trace completion ratio at k=2 vs unreplicated "
+                       "k=1, plus serial memdurability sweep wall clock",
+        "scenarios": {
+            "memdur_completion": {
+                "metric": "completion_ratio",
+                "after": round(points[2].completion_ratio, 4),
+                "before": round(points[1].completion_ratio, 4),
+                "speedup": round(
+                    points[2].completion_ratio / points[1].completion_ratio, 2),
+                "modeled": True,
+            },
+            "memdur_sweep_wall": {
+                "metric": "wall_s",
+                "after": round(wall["value"], 4),
+                "before": round(wall["value"], 4),
+                "speedup": 1.0,
+                "scenarios": wall["scenarios"],
+            },
+        },
+        # The simulated ratio is deterministic: any drift is a
+        # durability behaviour change, so gate it tightly.  Wall time
+        # is noisy.
+        "tolerance": {"completion_ratio": 0.02, "wall_s": 0.5},
+    }
+    path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_memdurability.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    print(json.dumps(baseline["scenarios"], indent=2, sort_keys=True))

@@ -14,6 +14,7 @@ Usage::
     python -m repro chaos --memservice
     python -m repro memdurability --factors 1,2,3 --json memdurability.json
     python -m repro managerha --standbys 0,1,2 --jobs 3
+    python -m repro loadstorm --shards 1,2,4,8 --jobs 4
     python -m repro certify --budget 5 --standbys 1
     python -m repro sweep list
     python -m repro sweep chaos --jobs 8 --set "rates=(0, 8, 16)"
@@ -56,6 +57,7 @@ from .experiments import (
     fig12_gpu_sharing,
     fig13_offloading,
     gpu_scaling_sweep,
+    loadstorm_sweep,
     manager_failover_sweep,
     memdurability_sweep,
     tab03_idle_node,
@@ -99,6 +101,7 @@ EXPERIMENTS: dict[str, tuple[Any, str]] = {
     "memdurability": (memdurability_sweep, "replicated memory service under a crash+drain storm"),
     "gpu_scaling": (gpu_scaling_sweep, "GPU invocation batching: batch size vs throughput/latency"),
     "manager_failover": (manager_failover_sweep, "completion through manager crash/partition, by standby count"),
+    "loadstorm": (loadstorm_sweep, "open-loop million-client lease churn vs control-plane shards"),
 }
 
 
@@ -406,6 +409,40 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
         "--json", metavar="FILE", default=None, dest="json_out",
         help="write the machine-readable sweep result as JSON",
     )
+    loadstorm_parser = sub.add_parser(
+        "loadstorm",
+        help="shard sweep: open-loop million-client lease churn vs shard count",
+    )
+    loadstorm_parser.add_argument(
+        "--shards", default=None, metavar="N1,N2,...",
+        help="comma-separated shard counts (default 1,2,4,8)",
+    )
+    loadstorm_parser.add_argument("--seed", type=int, default=0)
+    loadstorm_parser.add_argument(
+        "--window", type=float, default=8.0, metavar="SECONDS",
+        help="simulated arrival window per shard count",
+    )
+    loadstorm_parser.add_argument(
+        "--rate", type=float, default=3000.0, metavar="REQ_PER_S",
+        help="open-loop arrival rate (default 3000)",
+    )
+    loadstorm_parser.add_argument(
+        "--population", type=int, default=1_200_000, metavar="N",
+        help="synthetic tenant population behind the Zipf mix (default 1.2M)",
+    )
+    loadstorm_parser.add_argument(
+        "--arrival", choices=("poisson", "mmpp"), default="poisson",
+        help="arrival process (default poisson)",
+    )
+    loadstorm_parser.add_argument(
+        "--crash-at", type=float, default=0.0, metavar="FRACTION",
+        dest="crash_at", help="crash the last shard at this fraction of the "
+                              "window (0 disables; default 0)",
+    )
+    loadstorm_parser.add_argument(
+        "--json", metavar="FILE", default=None, dest="json_out",
+        help="write the machine-readable sweep result as JSON",
+    )
     certify_parser = sub.add_parser(
         "certify",
         help="chaos certification: control-plane invariants under randomized "
@@ -446,7 +483,8 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
     )
     generic_sweep_parser.add_argument("--seed", type=int, default=0)
     for sweep_parser in (chaos_parser, autoscale_parser, memdur_parser,
-                         managerha_parser, generic_sweep_parser):
+                         managerha_parser, loadstorm_parser,
+                         generic_sweep_parser):
         sweep_parser.add_argument(
             "--jobs", type=int, default=1, metavar="N",
             help="worker processes to fan scenarios across (default 1; "
@@ -571,6 +609,17 @@ def main(argv: list[str] | None = None, out: Callable[[str], None] = print) -> i
             except ValueError:
                 parser.error(f"--standbys expects comma-separated integers, got {args.standbys!r}")
         return _run_sweep_command("manager_failover", kwargs, args, parser, out)
+
+    if args.command == "loadstorm":
+        kwargs = {"seed": args.seed, "window_s": args.window,
+                  "rate_per_s": args.rate, "population": args.population,
+                  "arrival": args.arrival, "crash_at_frac": args.crash_at}
+        if args.shards:
+            try:
+                kwargs["shards"] = tuple(int(n) for n in args.shards.split(","))
+            except ValueError:
+                parser.error(f"--shards expects comma-separated integers, got {args.shards!r}")
+        return _run_sweep_command("loadstorm", kwargs, args, parser, out)
 
     if args.command == "certify":
         if args.budget < 1:

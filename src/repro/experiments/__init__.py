@@ -24,6 +24,7 @@ from . import (
     fig12_gpu_sharing,
     fig13_offloading,
     gpu_scaling_sweep,
+    loadstorm_sweep,
     manager_failover_sweep,
     memdurability_sweep,
     tab03_idle_node,
@@ -34,6 +35,7 @@ __all__ = [
     "autoscale_sweep",
     "chaos_sweep",
     "gpu_scaling_sweep",
+    "loadstorm_sweep",
     "manager_failover_sweep",
     "memdurability_sweep",
     "fig01_utilization",

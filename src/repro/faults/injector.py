@@ -320,17 +320,32 @@ class Injector:
                                  node=node, devices=restored)
 
     def _apply_manager_crash(self, event: FaultEvent) -> None:
-        """Kill the control plane's current primary replica.
+        """Kill a control-plane primary replica.
 
-        The victim is always whoever leads *at injection time* — no
-        seeded pick, since a replicated manager has exactly one primary
-        (``event.node`` is unused).  Skipped when the platform runs a
-        bare unreplicated manager, or no primary is up to kill.
+        Untargeted (``event.node`` unset), the victim is whoever leads
+        *at injection time* — no seeded pick, since a replicated manager
+        has exactly one primary.  Against a sharded control plane
+        (:mod:`repro.shard`) the event may name ``"shard-N"``
+        (``FaultPlan.manager_crash(shard=N)``) to kill that shard's
+        manager specifically.  Skipped when the platform runs a bare
+        unreplicated manager, no primary is up to kill, or the shard
+        target does not resolve.
         """
         if self.controlplane is None:
             self.skipped.append(event)
             return
-        victim = self.controlplane.crash_primary(outage_s=event.duration_s)
+        target = event.node
+        if target is not None and target.startswith("shard-"):
+            if not hasattr(self.controlplane, "crash_shard"):
+                self.skipped.append(event)
+                return
+            index = int(target.removeprefix("shard-"))
+            if not 0 <= index < len(self.controlplane.shards):
+                self.skipped.append(event)
+                return
+            victim = self.controlplane.crash_shard(index, outage_s=event.duration_s)
+        else:
+            victim = self.controlplane.crash_primary(outage_s=event.duration_s)
         if victim is None:
             self.skipped.append(event)
             return

@@ -204,12 +204,17 @@ class FaultPlan:
         return self.add(FaultEvent(FaultKind.GPU_DEVICE_LOSS, at_s, node=node,
                                    duration_s=duration_s))
 
-    def manager_crash(self, at_s: float, duration_s: float = 0.0) -> "FaultPlan":
-        """Kill the control plane's current primary (``node`` is unused:
-        the victim is always whoever leads at injection time); with
-        ``duration_s`` > 0 the replica restarts and rejoins."""
-        return self.add(FaultEvent(FaultKind.MANAGER_CRASH, at_s,
-                                   duration_s=duration_s))
+    def manager_crash(self, at_s: float, duration_s: float = 0.0,
+                      shard: Optional[int] = None) -> "FaultPlan":
+        """Kill a control-plane primary; with ``duration_s`` > 0 the
+        replica restarts and rejoins.  Untargeted, the victim is
+        whoever leads at injection time.  ``shard`` targets one shard
+        of a :class:`~repro.shard.ShardedControlPlane` (encoded as
+        ``node="shard-N"``; ignored by unsharded control planes)."""
+        return self.add(FaultEvent(
+            FaultKind.MANAGER_CRASH, at_s, duration_s=duration_s,
+            node=None if shard is None else f"shard-{shard}",
+        ))
 
     def manager_partition(self, at_s: float, duration_s: float = 0.0) -> "FaultPlan":
         """Cut the current primary off from clients and standbys; the

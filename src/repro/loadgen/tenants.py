@@ -1,0 +1,52 @@
+"""The heavy-tailed tenant population behind the arrival stream.
+
+A :class:`TenantMix` names a population of synthetic clients — a
+million-plus of them — *without materializing any of them*: the
+population is an integer, a tenant is an index into it, and a tenant
+only ever exists as the index stamped on an arrival.  Whatever consumes
+the trace (admission buckets, per-tenant RED rollups) allocates state
+for the tenants it actually observes, which Zipf's law keeps tiny
+relative to the population: with the default skew, a 100k-arrival trace
+touches a few thousand distinct tenants out of 1.2 million.
+
+Draws use numpy's unbounded Zipf sampler folded into ``[0,
+population)`` — a single vectorized draw per trace, fully determined by
+the rng the caller hands in, with the head ranks (tenant 0, 1, 2, ...)
+carrying the classic power-law share of the traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TenantMix"]
+
+
+@dataclass(frozen=True)
+class TenantMix:
+    """Zipf-distributed tenant indices over a synthetic population."""
+
+    #: Synthetic client population; tenant ids are ``[0, population)``.
+    population: int = 1_200_000
+    #: Zipf exponent (> 1); larger = heavier head.
+    zipf_s: float = 1.3
+    #: Display prefix for :meth:`name`.
+    prefix: str = "t"
+
+    def __post_init__(self):
+        if self.population < 1:
+            raise ValueError("population must be >= 1")
+        if self.zipf_s <= 1.0:
+            raise ValueError("zipf_s must be > 1 (numpy Zipf requirement)")
+
+    def draw(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``n`` tenant indices, Zipf-skewed, folded into the population."""
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        return (rng.zipf(self.zipf_s, size=n).astype(np.int64) - 1) % self.population
+
+    def name(self, index: int) -> str:
+        """Stable display name of one tenant index (``t0000042``)."""
+        return f"{self.prefix}{index:07d}"

@@ -1,0 +1,75 @@
+"""Consistent-hash ring: determinism, spread, and minimal remapping."""
+
+import pytest
+
+from repro.shard import HashRing
+
+
+def test_placement_is_deterministic_across_instances():
+    a = HashRing(range(4))
+    b = HashRing(range(4))
+    keys = [f"t{i:07d}" for i in range(1000)]
+    assert [a.shard_for(k) for k in keys] == [b.shard_for(k) for k in keys]
+
+
+def test_every_key_lands_on_a_registered_shard():
+    ring = HashRing(range(5))
+    for i in range(2000):
+        assert ring.shard_for(f"tenant-{i}") in range(5)
+
+
+def test_spread_touches_every_shard():
+    ring = HashRing(range(8))
+    counts = ring.spread(f"t{i:07d}" for i in range(10_000))
+    assert set(counts) == set(range(8))
+    # Zipf-free uniform keys: no shard should be empty or hog the ring.
+    assert min(counts.values()) > 0
+    assert max(counts.values()) < 10_000 / 2
+
+
+def test_adding_a_shard_remaps_roughly_one_nth_of_keys():
+    keys = [f"t{i:07d}" for i in range(10_000)]
+    ring = HashRing(range(4))
+    before = {k: ring.shard_for(k) for k in keys}
+    ring.add(4)
+    moved = sum(1 for k in keys if ring.shard_for(k) != before[k])
+    # Consistent hashing's defining property: ~1/N of keys move, not all.
+    assert 0.10 < moved / len(keys) < 0.35
+    # Every key that moved, moved TO the new shard.
+    for k in keys:
+        after = ring.shard_for(k)
+        if after != before[k]:
+            assert after == 4
+
+
+def test_removing_a_shard_only_moves_its_keys():
+    keys = [f"t{i:07d}" for i in range(5_000)]
+    ring = HashRing(range(4))
+    before = {k: ring.shard_for(k) for k in keys}
+    ring.remove(2)
+    for k in keys:
+        if before[k] != 2:
+            assert ring.shard_for(k) == before[k]
+        else:
+            assert ring.shard_for(k) != 2
+
+
+def test_container_protocol():
+    ring = HashRing(range(3))
+    assert len(ring) == 3
+    assert 2 in ring
+    assert 7 not in ring
+    assert sorted(ring) == [0, 1, 2]
+    assert ring.shards() == [0, 1, 2]
+
+
+def test_empty_ring_rejects_lookups():
+    ring = HashRing(())
+    with pytest.raises(LookupError):
+        ring.shard_for("tenant")
+
+
+def test_duplicate_shard_rejected():
+    ring = HashRing(range(2))
+    with pytest.raises(ValueError):
+        ring.add(1)

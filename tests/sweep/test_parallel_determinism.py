@@ -23,6 +23,8 @@ SWEEP_ARGS = {
     "gpu_scaling": ["sweep", "gpu_scaling", "--set", "batch_sizes=(1, 4, 16)",
                     "--set", "requests=512"],
     "manager_failover": ["managerha", "--standbys", "0,1", "--window", "8"],
+    "loadstorm": ["loadstorm", "--shards", "1,2", "--window", "2",
+                  "--rate", "600", "--population", "50000"],
 }
 
 

@@ -1,0 +1,89 @@
+"""The bench-baseline drift lint: BENCH_*.json <-> perfgate.BENCHES."""
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools import check_benches, perfgate  # noqa: E402
+
+
+def _valid_baseline() -> dict:
+    return {
+        "scenarios": {
+            "case": {"metric": "wall_s", "after": 1.0, "before": 1.0},
+        },
+        "tolerance": {"wall_s": 0.5},
+    }
+
+
+def _populate(root: pathlib.Path) -> None:
+    """Write a valid baseline for every registered suite into ``root``."""
+    for _, baseline_path in perfgate.BENCHES.values():
+        (root / baseline_path.name).write_text(
+            json.dumps(_valid_baseline()), encoding="utf-8",
+        )
+
+
+def test_real_repo_is_clean():
+    assert check_benches.violations() == []
+
+
+def test_every_registered_suite_has_a_real_module_and_baseline():
+    for suite, (module_name, baseline_path) in perfgate.BENCHES.items():
+        assert baseline_path.exists(), suite
+        assert (REPO_ROOT / "benchmarks" / f"{module_name}.py").exists(), suite
+
+
+def test_unregistered_baseline_is_flagged(tmp_path):
+    _populate(tmp_path)
+    (tmp_path / "BENCH_orphan.json").write_text("{}", encoding="utf-8")
+    problems = check_benches.violations(root=tmp_path)
+    assert any("BENCH_orphan.json" in p and "no perfgate suite" in p
+               for p in problems)
+
+
+def test_missing_registered_baseline_is_flagged(tmp_path):
+    _populate(tmp_path)
+    some_suite, (_, some_path) = sorted(perfgate.BENCHES.items())[0]
+    (tmp_path / some_path.name).unlink()
+    problems = check_benches.violations(root=tmp_path)
+    assert any(some_suite in p and "does not exist" in p for p in problems)
+
+
+def test_invalid_json_is_flagged(tmp_path):
+    _populate(tmp_path)
+    _, (_, some_path) = sorted(perfgate.BENCHES.items())[0]
+    (tmp_path / some_path.name).write_text("{not json", encoding="utf-8")
+    problems = check_benches.violations(root=tmp_path)
+    assert any("not valid JSON" in p for p in problems)
+
+
+def test_missing_schema_pieces_are_flagged(tmp_path):
+    _populate(tmp_path)
+    _, (_, some_path) = sorted(perfgate.BENCHES.items())[0]
+    (tmp_path / some_path.name).write_text(
+        json.dumps({"scenarios": {"case": {"metric": "wall_s"}}}),
+        encoding="utf-8",
+    )
+    problems = check_benches.violations(root=tmp_path)
+    assert any("no 'tolerance'" in p for p in problems)
+    assert any("no 'after'" in p for p in problems)
+
+
+def test_metric_without_tolerance_is_flagged(tmp_path):
+    _populate(tmp_path)
+    _, (_, some_path) = sorted(perfgate.BENCHES.items())[0]
+    baseline = _valid_baseline()
+    baseline["scenarios"]["case"]["metric"] = "requests_per_s"
+    (tmp_path / some_path.name).write_text(json.dumps(baseline),
+                                           encoding="utf-8")
+    problems = check_benches.violations(root=tmp_path)
+    assert any("has no tolerance" in p for p in problems)
+
+
+def test_clean_synthetic_root_passes(tmp_path):
+    _populate(tmp_path)
+    assert check_benches.violations(root=tmp_path) == []

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Lint: committed perf baselines and the perfgate registry must agree.
+
+``tools/perfgate.py`` only gates what :data:`~tools.perfgate.BENCHES`
+registers, and a registered suite only gates if its committed
+``BENCH_<suite>.json`` baseline actually exists.  Both halves drift
+silently: a new benchmark writes its baseline but never registers
+(nothing gates it), or a suite is renamed/removed and its stale
+baseline keeps sitting at the repo root looking authoritative.  This
+check enforces the bijection:
+
+* every ``BENCH_*.json`` at the repo root is some registered suite's
+  baseline path;
+* every registered suite's baseline file exists, is valid JSON, and
+  carries the perfgate schema (a ``scenarios`` table and a
+  ``tolerance`` map whose keys cover every scenario metric);
+* every registered suite's benchmark module exists under
+  ``benchmarks/`` and exposes the measurement interface perfgate calls
+  (``measure_all`` / ``DEFAULT_REPEATS``).
+
+Run standalone or through the unified entry point::
+
+    python tools/check_benches.py
+    python -m tools.checks benches
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+
+def _baseline_problems(suite: str, path: pathlib.Path) -> list[str]:
+    try:
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [f"suite {suite!r}: baseline {path.name} is not valid JSON ({exc})"]
+    problems: list[str] = []
+    scenarios = baseline.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        problems.append(
+            f"suite {suite!r}: baseline {path.name} has no 'scenarios' table "
+            f"(perfgate schema)"
+        )
+        scenarios = {}
+    tolerance = baseline.get("tolerance")
+    if not isinstance(tolerance, dict):
+        problems.append(
+            f"suite {suite!r}: baseline {path.name} has no 'tolerance' map "
+            f"(perfgate schema)"
+        )
+        tolerance = {}
+    for name, recorded in scenarios.items():
+        metric = recorded.get("metric") if isinstance(recorded, dict) else None
+        if not metric:
+            problems.append(
+                f"suite {suite!r}: scenario {name!r} in {path.name} has no "
+                f"'metric'"
+            )
+        elif tolerance and metric not in tolerance:
+            problems.append(
+                f"suite {suite!r}: scenario {name!r} metric {metric!r} has no "
+                f"tolerance in {path.name}"
+            )
+        if isinstance(recorded, dict) and "after" not in recorded:
+            problems.append(
+                f"suite {suite!r}: scenario {name!r} in {path.name} has no "
+                f"'after' baseline value"
+            )
+    return problems
+
+
+def _module_problems(suite: str, module_name: str) -> list[str]:
+    module_path = REPO_ROOT / "benchmarks" / f"{module_name}.py"
+    if not module_path.exists():
+        return [f"suite {suite!r}: benchmark module benchmarks/{module_name}.py "
+                f"does not exist"]
+    source = module_path.read_text(encoding="utf-8")
+    problems = []
+    for required in ("measure_all", "DEFAULT_REPEATS"):
+        if required not in source:
+            problems.append(
+                f"suite {suite!r}: benchmarks/{module_name}.py does not define "
+                f"{required} (perfgate measurement interface)"
+            )
+    return problems
+
+
+def violations(root: pathlib.Path | None = None) -> list[str]:
+    """Violation lines for the baseline <-> registry bijection.
+
+    ``root`` overrides the repo root for tests; the perfgate registry is
+    always the real one (its baseline paths are re-anchored to ``root``).
+    """
+    import perfgate
+
+    root = REPO_ROOT if root is None else root
+    problems: list[str] = []
+    registered: dict[str, str] = {}
+    for suite, (module_name, baseline_path) in sorted(perfgate.BENCHES.items()):
+        registered[baseline_path.name] = suite
+        anchored = root / baseline_path.name
+        if not anchored.exists():
+            problems.append(
+                f"suite {suite!r}: registered baseline {baseline_path.name} "
+                f"does not exist at the repo root"
+            )
+            continue
+        problems.extend(_baseline_problems(suite, anchored))
+        if root == REPO_ROOT:
+            problems.extend(_module_problems(suite, module_name))
+    for path in sorted(root.glob("BENCH_*.json")):
+        if path.name not in registered:
+            problems.append(
+                f"{path.name}: no perfgate suite registers this baseline "
+                f"(add it to tools/perfgate.py BENCHES or delete the file)"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = violations()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} bench-baseline violation(s)", file=sys.stderr)
+        return 1
+    print("bench baselines ok: every BENCH_*.json is gated and every "
+          "registered suite has a valid baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

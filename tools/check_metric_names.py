@@ -35,6 +35,7 @@ KNOWN_SUBSYSTEMS = frozenset({
     "memservice",  # durable memory service: replication/migration/repair
     "red",         # streaming per-tenant RED (rate/errors/duration) rollup
     "scheduler",
+    "shard",       # sharded control plane: batching/migration/conservation
     "slo",         # sliding-window burn-rate monitor
     "warmpool",
 })

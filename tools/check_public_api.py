@@ -30,7 +30,8 @@ MANIFEST_PATH = REPO_ROOT / "tools" / "public_api.json"
 #: Modules whose exported surface is under contract.
 MODULES = ("repro.api", "repro.capacity", "repro.controlplane",
            "repro.experiments.base", "repro.faults", "repro.gpuservice",
-           "repro.memservice", "repro.rfaas", "repro.sweep")
+           "repro.loadgen", "repro.memservice", "repro.rfaas", "repro.shard",
+           "repro.sweep")
 
 
 def _signature_of(obj) -> str:

@@ -40,6 +40,9 @@ BENCHES: dict[str, tuple[str, pathlib.Path]] = {
     "sweep": ("bench_sweep", REPO_ROOT / "BENCH_sweep.json"),
     "gpu": ("bench_gpu", REPO_ROOT / "BENCH_gpu.json"),
     "managerha": ("bench_managerha", REPO_ROOT / "BENCH_managerha.json"),
+    "autoscale": ("bench_autoscale", REPO_ROOT / "BENCH_autoscale.json"),
+    "memdurability": ("bench_memdurability", REPO_ROOT / "BENCH_memdurability.json"),
+    "loadstorm": ("bench_loadstorm", REPO_ROOT / "BENCH_loadstorm.json"),
 }
 
 #: Floor metrics gate on "must not drop" (throughput, completion);
